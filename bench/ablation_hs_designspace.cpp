@@ -1,0 +1,91 @@
+// Ablation A6 — the generalized (H, S) design space (the follow-up
+// framework of the journal version, TOCS 2007), evaluated with this
+// paper's methodology: converged degree balance, dead-link decay after a
+// 50% failure, and connectivity.
+//
+// Expected shape (TOCS Figs. 5/9, consistent with this paper's view
+// selection findings): healer (H = c/2) purges dead links exponentially
+// fast; swapper (S = c/2) produces the narrowest degree distribution but
+// heals slowly; blind (H = S = 0) is in between on both axes. Intermediate
+// (H, S) trade the two properties smoothly.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pss/common/csv.hpp"
+#include "pss/common/table.hpp"
+#include "pss/experiments/reporting.hpp"
+#include "pss/sim/hs_overlay.hpp"
+#include "pss/stats/descriptive.hpp"
+
+int main() {
+  using namespace pss;
+  auto params = bench::scaled_params(/*quick_n=*/2000, /*quick_cycles=*/100);
+  const auto heal_cycles =
+      static_cast<Cycle>(env::get_int("PSS_EXTRA_CYCLES", 40));
+  const std::size_t c = params.view_size;
+
+  experiments::print_banner(
+      std::cout, "Ablation A6 — generalized (H,S) protocol family",
+      "follow-up design space (TOCS 2007) under this paper's methodology",
+      params, "heal window=" + std::to_string(heal_cycles) + " cycles");
+
+  struct Config {
+    const char* name;
+    HSParams hs;
+  };
+  const std::vector<Config> configs = {
+      {"blind   (H=0,   S=0)", HSParams::blind(c)},
+      {"healer  (H=c/2, S=0)", HSParams::healer_profile(c)},
+      {"swapper (H=0,   S=c/2)", HSParams::swapper_profile(c)},
+      {"mixed   (H=c/4, S=c/4)", {c, c / 4, c / 4, false, true}},
+      {"cyclon-like (tail, S=c/2)", {c, 0, c / 2, true, true}},
+  };
+
+  CsvSink csv("ablation_hs_designspace");
+  csv.write_row({"config", "degree_mean", "degree_stddev", "dead_at_failure",
+                 "dead_after_heal_window", "connected"});
+
+  TextTable table;
+  table.row()
+      .cell("config")
+      .cell("deg mean")
+      .cell("deg stddev")
+      .cell("dead@0")
+      .cell("dead@+" + std::to_string(heal_cycles))
+      .cell("connected");
+  for (const auto& config : configs) {
+    sim::HSOverlay overlay(params.n, config.hs, params.seed);
+    overlay.run(params.cycles);
+    stats::Accumulator acc;
+    for (std::size_t d : overlay.degrees()) acc.add(static_cast<double>(d));
+    const double deg_mean = acc.mean();
+    const double deg_sd = acc.stddev_population();
+    overlay.kill_random(params.n / 2);
+    const auto dead0 = overlay.count_dead_links();
+    overlay.run(heal_cycles);
+    const auto dead1 = overlay.count_dead_links();
+    const bool connected = overlay.connected();
+    table.row()
+        .cell(config.name)
+        .cell(deg_mean, 2)
+        .cell(deg_sd, 2)
+        .cell(static_cast<std::int64_t>(dead0))
+        .cell(static_cast<std::int64_t>(dead1))
+        .cell(connected ? "yes" : "NO");
+    csv.write_row({config.name, format_double(deg_mean, 3),
+                   format_double(deg_sd, 3), std::to_string(dead0),
+                   std::to_string(dead1), connected ? "1" : "0"});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: healer's dead links collapse to ~0 within "
+               "the window at the price of the widest degree spread; swapper "
+               "keeps the narrowest degree spread but retains dead links; "
+               "blind sits between; mixed (H=S=c/4) gets both fast healing "
+               "and a moderate spread. The tail-peer swapper keeps Cyclon's "
+               "degree balance but NOT its healing — real Cyclon also evicts "
+               "the contacted descriptor on exchange/timeout, a mechanism "
+               "outside the pure (H,S) space.\n";
+  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  return 0;
+}

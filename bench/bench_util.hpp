@@ -1,0 +1,45 @@
+// Shared scaffolding for the bench harness.
+//
+// Every bench binary regenerates one table or figure of the paper. Because
+// the paper-scale experiments (N = 10^4, 300 cycles, up to 100 runs) take
+// minutes to hours, each bench has a quick default that preserves the
+// qualitative shape and a paper-scale mode enabled by PSS_FULL=1. All
+// parameters can be overridden individually:
+//   PSS_N, PSS_C, PSS_CYCLES, PSS_RUNS, PSS_SEED,
+//   PSS_PATH_SOURCES, PSS_CLUSTERING_SAMPLE, PSS_CSV_DIR.
+#pragma once
+
+#include <string>
+
+#include "pss/common/env.hpp"
+#include "pss/experiments/scenario.hpp"
+
+namespace pss::bench {
+
+/// Builds scenario parameters from the environment with per-bench quick
+/// defaults. Paper-scale (PSS_FULL) always means N=10^4, c=30.
+inline experiments::ScenarioParams scaled_params(std::int64_t quick_n,
+                                                 std::int64_t quick_cycles,
+                                                 std::int64_t full_cycles = 300,
+                                                 std::int64_t quick_c = 30) {
+  experiments::ScenarioParams p;
+  p.n = static_cast<std::size_t>(env::scaled("PSS_N", quick_n, 10'000));
+  p.view_size = static_cast<std::size_t>(env::scaled("PSS_C", quick_c, 30));
+  p.cycles = static_cast<Cycle>(env::scaled("PSS_CYCLES", quick_cycles, full_cycles));
+  p.seed = static_cast<std::uint64_t>(env::get_int("PSS_SEED", 42));
+  p.path_sources =
+      static_cast<std::size_t>(env::get_int("PSS_PATH_SOURCES", 100));
+  p.clustering_sample =
+      static_cast<std::size_t>(env::get_int("PSS_CLUSTERING_SAMPLE", 1000));
+  // Keep the paper's growth profile: the overlay reaches full size at cycle
+  // ~100 regardless of N (10^4 nodes at 100 per cycle).
+  p.growth_per_cycle = std::max<std::size_t>(1, p.n / 100);
+  return p;
+}
+
+/// Number of repeated runs for aggregate benches.
+inline std::size_t scaled_runs(std::int64_t quick, std::int64_t full = 100) {
+  return static_cast<std::size_t>(env::scaled("PSS_RUNS", quick, full));
+}
+
+}  // namespace pss::bench

@@ -1,0 +1,51 @@
+// Figure 2 — "Dynamics of graph properties in the growing scenario":
+// clustering coefficient (a), average node degree (b) and average path
+// length (c) over 300 cycles, for the six protocols that remain stable in
+// this scenario. The horizontal reference is the uniform random-view
+// topology; growth completes at cycle ~100.
+//
+// Expected shape (paper): pushpull variants converge quickly after growth
+// ends; push variants converge extremely slowly (their curves are still far
+// from the random baseline at cycle 300); (*,rand,pushpull) sits closest to
+// the random line for these three aggregate metrics.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pss/common/csv.hpp"
+#include "pss/experiments/reporting.hpp"
+
+int main() {
+  using namespace pss;
+  auto params = bench::scaled_params(/*quick_n=*/2000, /*quick_cycles=*/150);
+  params.sample_interval = std::max<Cycle>(1, params.cycles / 30);
+
+  experiments::print_banner(
+      std::cout, "Figure 2 — graph property dynamics, growing scenario",
+      "Jelasity et al., Middleware 2004, Fig. 2", params,
+      "growth=" + std::to_string(params.growth_per_cycle) + "/cycle");
+
+  const auto baseline = experiments::measure_random_baseline(params);
+  std::cout << "uniform random baseline: avg_degree="
+            << format_double(baseline.avg_degree, 2)
+            << " clustering=" << format_double(baseline.clustering, 4)
+            << " path_len=" << format_double(baseline.path_length, 3) << "\n\n";
+
+  // Figure 2 plots the six stable protocols; (rand,head,push) and
+  // (tail,head,push) are excluded there because they partition (Table 1).
+  const std::vector<ProtocolSpec> specs = {
+      {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPush},
+      {PeerSelection::kTail, ViewSelection::kRand, ViewPropagation::kPush},
+      {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPushPull},
+      {PeerSelection::kTail, ViewSelection::kRand, ViewPropagation::kPushPull},
+      ProtocolSpec::newscast(),
+      {PeerSelection::kTail, ViewSelection::kHead, ViewPropagation::kPushPull},
+  };
+
+  CsvSink csv("fig2_growing");
+  for (const auto& spec : specs) {
+    const auto result = experiments::run_growing_scenario(spec, params);
+    experiments::print_series(std::cout, spec.name(), result.series, &csv);
+  }
+  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  return 0;
+}

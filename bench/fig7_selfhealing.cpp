@@ -1,0 +1,78 @@
+// Figure 7 — "The evolution of the number of dead links in the overlay
+// following the failure of 50% of the nodes in cycle 300", for all 8
+// evaluated protocols.
+//
+// Expected shape (paper): head view selection removes dead links
+// exponentially fast (the (*,head,pushpull) curves overlap and hit zero
+// within ~20 cycles; (rand,head,push) close behind, (tail,head,push)
+// noticeably slower). Rand view selection decays at best linearly —
+// tens of thousands of dead links remain 200 cycles after the failure —
+// and (tail,rand,push) even accumulates dead links.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pss/common/csv.hpp"
+#include "pss/common/table.hpp"
+#include "pss/experiments/failure.hpp"
+#include "pss/experiments/reporting.hpp"
+
+int main() {
+  using namespace pss;
+  auto params = bench::scaled_params(/*quick_n=*/2000, /*quick_cycles=*/100);
+  const auto extra_cycles =
+      static_cast<Cycle>(env::scaled("PSS_EXTRA_CYCLES", 100, 200));
+
+  experiments::print_banner(
+      std::cout, "Figure 7 — dead-link decay after 50% node failure",
+      "Jelasity et al., Middleware 2004, Fig. 7", params,
+      "failure at cycle " + std::to_string(params.cycles) + ", observed for " +
+          std::to_string(extra_cycles) + " further cycles");
+
+  CsvSink csv("fig7_selfhealing");
+  csv.write_row({"protocol", "cycles_after_failure", "dead_links"});
+
+  std::vector<experiments::SelfHealingResult> results;
+  for (const auto& spec : ProtocolSpec::evaluated()) {
+    results.push_back(
+        experiments::run_self_healing(spec, params, extra_cycles, 0.5));
+    const auto& r = results.back();
+    for (std::size_t i = 0; i < r.dead_links.size(); ++i) {
+      csv.write_row({spec.name(), std::to_string(i + 1),
+                     std::to_string(r.dead_links[i])});
+    }
+  }
+
+  TextTable table;
+  auto& header = table.row().cell("cycle+");
+  for (const auto& spec : ProtocolSpec::evaluated()) header.cell(spec.name());
+  {
+    auto& row0 = table.row().cell("0");
+    for (const auto& r : results)
+      row0.cell(static_cast<std::int64_t>(r.dead_links_at_failure));
+  }
+  for (Cycle after = 5; after <= extra_cycles;
+       after += (after < 40 ? 5 : 20)) {
+    auto& row = table.row().cell(std::to_string(after));
+    for (const auto& r : results)
+      row.cell(static_cast<std::int64_t>(r.dead_links[after - 1]));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nhealing summary (cycles to reach 1% of the initial dead "
+               "links; '-' = not reached):\n";
+  TextTable summary;
+  summary.row().cell("protocol").cell("cycles_to_1pct");
+  const auto evaluated = ProtocolSpec::evaluated();
+  for (std::size_t i = 0; i < evaluated.size(); ++i) {
+    const auto target = results[i].dead_links_at_failure / 100;
+    const auto cycles = results[i].cycles_to_reach(target);
+    summary.row()
+        .cell(evaluated[i].name())
+        .cell(cycles == experiments::SelfHealingResult::kNever
+                  ? "-"
+                  : std::to_string(cycles));
+  }
+  summary.print(std::cout);
+  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: view merge and
+// selection, a full pushpull exchange, one simulation cycle at several
+// network sizes, graph snapshot construction and the metric estimators.
+// These bound the cost of the experiment harness and catch performance
+// regressions in the exchange path.
+#include <benchmark/benchmark.h>
+
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/membership/view.hpp"
+#include "pss/protocol/gossip_node.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+namespace {
+
+using namespace pss;
+
+View make_view(std::size_t size, std::uint64_t seed, NodeId lo = 0) {
+  Rng rng(seed);
+  std::vector<NodeDescriptor> entries;
+  entries.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    entries.push_back({static_cast<NodeId>(lo + rng.below(10 * size)),
+                       static_cast<HopCount>(rng.below(20))});
+  }
+  return View(std::move(entries));
+}
+
+void BM_ViewMerge(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  const View a = make_view(c, 1);
+  const View b = make_view(c, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(View::merge(a, b));
+  }
+}
+BENCHMARK(BM_ViewMerge)->Arg(30)->Arg(100);
+
+void BM_ViewSelectHeadUnbiased(benchmark::State& state) {
+  const View merged = make_view(61, 3);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merged.select_head_unbiased(30, rng));
+  }
+}
+BENCHMARK(BM_ViewSelectHeadUnbiased);
+
+void BM_ViewSelectRand(benchmark::State& state) {
+  const View merged = make_view(61, 5);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(merged.select_rand(30, rng));
+  }
+}
+BENCHMARK(BM_ViewSelectRand);
+
+void BM_PushPullExchange(benchmark::State& state) {
+  GossipNode a(0, ProtocolSpec::newscast(), ProtocolOptions{30, false}, Rng(1));
+  GossipNode b(1, ProtocolSpec::newscast(), ProtocolOptions{30, false}, Rng(2));
+  a.set_view(make_view(30, 7, 2));
+  b.set_view(make_view(30, 8, 2));
+  for (auto _ : state) {
+    auto reply = b.handle_message(a.make_active_buffer());
+    a.handle_reply(*reply);
+  }
+}
+BENCHMARK(BM_PushPullExchange);
+
+void BM_SimulationCycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{30, false}, n, 42);
+  sim::CycleEngine engine(net);
+  for (auto _ : state) {
+    engine.run_cycle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulationCycle)->Arg(1000)->Arg(10000);
+
+void BM_GraphSnapshot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{30, false}, n, 42);
+  sim::CycleEngine engine(net);
+  engine.run(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::UndirectedGraph::from_network(net));
+  }
+}
+BENCHMARK(BM_GraphSnapshot)->Arg(1000)->Arg(10000);
+
+void BM_ClusteringSampled(benchmark::State& state) {
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{30, false}, 10000, 42);
+  sim::CycleEngine engine(net);
+  engine.run(5);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::clustering_coefficient_sampled(g, 1000, rng));
+  }
+}
+BENCHMARK(BM_ClusteringSampled);
+
+void BM_PathLengthSampled(benchmark::State& state) {
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{30, false}, 10000, 42);
+  sim::CycleEngine engine(net);
+  engine.run(5);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::average_path_length_sampled(g, 100, rng));
+  }
+}
+BENCHMARK(BM_PathLengthSampled);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{30, false}, 10000, 42);
+  sim::CycleEngine engine(net);
+  engine.run(5);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::connected_components(g));
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Epidemic broadcast over the peer sampling service — the application the
+// paper's introduction motivates first (information dissemination, [6,9]).
+//
+// Compares dissemination speed and redundancy when infected nodes pick
+// targets (a) via the gossip-based sampling service backed by several
+// framework protocols, and (b) via the ideal uniform sampler the classical
+// analyses assume. The gap illustrates the paper's headline point: gossip
+// overlays are NOT uniform samplers, and the deviation has measurable
+// application-level cost.
+//
+//   $ ./examples/broadcast_dissemination [N] [fanout]
+#include <iostream>
+#include <string>
+
+#include "pss/apps/broadcast.hpp"
+#include "pss/common/table.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pss;
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 2000;
+  const std::size_t fanout = argc > 2 ? std::stoul(argv[2]) : 1;
+  const std::uint64_t seed = 42;
+
+  std::cout << "epidemic broadcast, N=" << n << " fanout=" << fanout << "\n\n";
+
+  apps::BroadcastParams params{.fanout = fanout, .max_rounds = 100};
+
+  TextTable table;
+  table.row()
+      .cell("sampler")
+      .cell("rounds to full")
+      .cell("messages")
+      .cell("redundant")
+      .cell("coverage@10");
+
+  auto report = [&](const std::string& label, const apps::BroadcastResult& r) {
+    const std::size_t at10 =
+        r.infected_per_round.size() > 10 ? r.infected_per_round[10]
+                                         : r.infected_per_round.back();
+    table.row()
+        .cell(label)
+        .cell(r.reached_all() ? std::to_string(r.rounds_to_full) : "never")
+        .cell(static_cast<std::int64_t>(r.messages))
+        .cell(static_cast<std::int64_t>(r.redundant_deliveries))
+        .cell(static_cast<std::int64_t>(at10));
+  };
+
+  // Gossip-backed sampling with three representative protocols.
+  for (const auto& spec :
+       {ProtocolSpec::newscast(), ProtocolSpec::lpbcast(),
+        ProtocolSpec{PeerSelection::kTail, ViewSelection::kRand,
+                     ViewPropagation::kPushPull}}) {
+    auto net = sim::bootstrap::make_random(spec, ProtocolOptions{30, false}, n,
+                                           seed);
+    sim::CycleEngine engine(net);
+    engine.run(50);  // converge the overlay before broadcasting
+    const auto result = apps::run_broadcast_over_gossip(
+        net, engine, params, /*origin=*/0, Rng(seed + 1));
+    report("gossip " + spec.name(), result);
+  }
+
+  // Ideal uniform baseline.
+  const auto ideal =
+      apps::run_broadcast_ideal(n, params, /*origin=*/0, Rng(seed + 2));
+  report("ideal uniform", ideal);
+
+  table.print(std::cout);
+  std::cout << "\nNote: with fanout 1 the classical push-gossip bound is "
+               "~log2(N) + ln(N) rounds under uniform sampling; gossip-based "
+               "sampling tracks it closely despite non-uniformity, at "
+               "slightly higher redundancy.\n";
+  return 0;
+}

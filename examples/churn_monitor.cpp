@@ -1,0 +1,89 @@
+// Overlay health under continuous churn — the operational scenario the
+// paper's failure experiments (Section 7) approximate with one catastrophic
+// event. Runs Newscast and (rand,rand,pushpull) under sustained join/leave
+// turnover and prints a per-interval health report: live population, dead
+// links, connectivity, and degree spread.
+//
+//   $ ./examples/churn_monitor [N] [churn_per_cycle] [cycles]
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "pss/common/table.hpp"
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/churn.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pss;
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 2000;
+  const std::size_t churn = argc > 2 ? std::stoul(argv[2]) : n / 50;  // 2%
+  const Cycle cycles = argc > 3 ? static_cast<Cycle>(std::stoul(argv[3])) : 120;
+  const std::uint64_t seed = 42;
+
+  std::cout << "churn monitor: N=" << n << ", " << churn
+            << " joins + " << churn << " leaves per cycle, " << cycles
+            << " cycles\n";
+
+  for (const auto& spec :
+       {ProtocolSpec::newscast(),
+        ProtocolSpec{PeerSelection::kRand, ViewSelection::kRand,
+                     ViewPropagation::kPushPull}}) {
+    std::cout << "\nprotocol " << spec.name() << "\n";
+    auto net = sim::bootstrap::make_random(spec, ProtocolOptions{30, false}, n,
+                                           seed);
+    sim::CycleEngine engine(net);
+    sim::ChurnModel churn_model(
+        {.leaves_per_cycle = churn, .joins_per_cycle = churn,
+         .contacts_per_join = 1},
+        Rng(seed + 7));
+
+    TextTable table;
+    table.row()
+        .cell("cycle")
+        .cell("live")
+        .cell("dead links")
+        .cell("dead/links%")
+        .cell("components")
+        .cell("largest")
+        .cell("deg mean")
+        .cell("deg max");
+    const Cycle report_every = std::max<Cycle>(1, cycles / 10);
+    for (Cycle cycle = 1; cycle <= cycles; ++cycle) {
+      churn_model.apply(net);
+      engine.run_cycle();
+      if (cycle % report_every == 0) {
+        const auto g = graph::UndirectedGraph::from_network(net);
+        const auto comp = graph::connected_components(g);
+        const auto deg = graph::degree_summary(g);
+        const auto dead = net.count_dead_links();
+        const auto total_links = net.live_count() * 30;
+        table.row()
+            .cell(static_cast<std::int64_t>(cycle))
+            .cell(static_cast<std::int64_t>(net.live_count()))
+            .cell(static_cast<std::int64_t>(dead))
+            .cell(100.0 * static_cast<double>(dead) /
+                      static_cast<double>(total_links),
+                  1)
+            .cell(static_cast<std::int64_t>(comp.count))
+            .cell(static_cast<std::int64_t>(comp.largest))
+            .cell(deg.mean, 1)
+            .cell(static_cast<std::int64_t>(deg.max));
+      }
+    }
+    table.print(std::cout);
+    std::cout << "turnover: " << churn_model.stats().joined << " joined, "
+              << churn_model.stats().left << " left ("
+              << format_double(100.0 * churn_model.stats().left /
+                                   static_cast<double>(n),
+                               0)
+              << "% of initial population replaced)\n";
+  }
+  std::cout << "\nexpected: head view selection (Newscast) keeps the dead-"
+               "link fraction low and the overlay connected; rand view "
+               "selection carries a much larger standing population of "
+               "dead links under identical churn.\n";
+  return 0;
+}

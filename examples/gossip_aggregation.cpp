@@ -1,0 +1,72 @@
+// Gossip-based averaging on top of the peer sampling service — the
+// aggregation workload of [14,16] in the paper's bibliography.
+//
+// Every node starts with a value (a linear ramp); each round every node
+// averages with one sampled peer while the membership protocol keeps
+// gossiping underneath. The variance decay rate is a sensitive probe of
+// sampling quality: uniform sampling contracts the variance by a constant
+// factor per round, and the gossip-backed services approach that factor.
+//
+//   $ ./examples/gossip_aggregation [N] [rounds]
+#include <iostream>
+#include <string>
+
+#include "pss/apps/aggregation.hpp"
+#include "pss/common/table.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pss;
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 2000;
+  const Cycle rounds = argc > 2 ? static_cast<Cycle>(std::stoul(argv[2])) : 40;
+  const std::uint64_t seed = 42;
+
+  std::cout << "push-pull averaging, N=" << n << " rounds=" << rounds << "\n\n";
+
+  apps::AggregationParams params{.rounds = rounds};
+
+  TextTable table;
+  table.row()
+      .cell("sampler")
+      .cell("initial var")
+      .cell("final var")
+      .cell("contraction/round")
+      .cell("rounds to var<1");
+
+  auto report = [&](const std::string& label, const apps::AggregationResult& r) {
+    const auto hit = r.rounds_to_variance(1.0);
+    table.row()
+        .cell(label)
+        .cell(r.variance_per_round.front(), 1)
+        .cell(r.variance_per_round.back(), 6)
+        .cell(r.mean_contraction(), 3)
+        .cell(hit == apps::AggregationResult::kNever ? "never"
+                                                     : std::to_string(hit));
+  };
+
+  for (const auto& spec :
+       {ProtocolSpec::newscast(),
+        ProtocolSpec{PeerSelection::kRand, ViewSelection::kRand,
+                     ViewPropagation::kPushPull},
+        ProtocolSpec::lpbcast()}) {
+    auto net = sim::bootstrap::make_random(spec, ProtocolOptions{30, false}, n,
+                                           seed);
+    sim::CycleEngine engine(net);
+    engine.run(50);
+    const auto result = apps::run_averaging_over_gossip(
+        net, engine, params, apps::ramp_values(n), Rng(seed + 1));
+    report("gossip " + spec.name(), result);
+  }
+
+  const auto ideal =
+      apps::run_averaging_ideal(params, apps::ramp_values(n), Rng(seed + 2));
+  report("ideal uniform", ideal);
+
+  table.print(std::cout);
+  std::cout << "\nTheory (uniform sampling, one exchange per node per "
+               "round): variance contracts by ~1/(2*sqrt(e)) ~ 0.303 per "
+               "round. A contraction factor above that signals sampling "
+               "bias (correlated or clustered partners).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Epidemic (gossip-based) information dissemination on top of the peer
+// sampling service — the application class the paper's introduction leads
+// with ([6,9] in its bibliography; analysis in Pittel [24] assumes uniform
+// sampling).
+//
+// Model: SI epidemic in rounds. One origin node holds a message; each
+// round, every infected node pushes the message to `fanout` peers obtained
+// from its sampling service. The run tracks coverage per round and the
+// number of redundant deliveries (a direct measure of how the overlay's
+// deviation from uniform sampling hurts dissemination efficiency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/sim/cycle_engine.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::apps {
+
+struct BroadcastParams {
+  std::size_t fanout = 1;   ///< peers contacted per infected node per round
+  Cycle max_rounds = 100;   ///< stop after this many rounds regardless
+};
+
+struct BroadcastResult {
+  /// infected_per_round[r] = number of nodes holding the message after
+  /// round r (index 0 = initial state, exactly 1).
+  std::vector<std::size_t> infected_per_round;
+  /// Rounds needed to reach every live node; kNever when max_rounds hit.
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::size_t rounds_to_full = kNever;
+  /// Messages that arrived at an already-infected node.
+  std::uint64_t redundant_deliveries = 0;
+  /// Total messages sent.
+  std::uint64_t messages = 0;
+
+  bool reached_all() const { return rounds_to_full != kNever; }
+};
+
+/// Runs the epidemic over a live gossip overlay: each round advances the
+/// membership protocol by one cycle, then every infected node samples
+/// `fanout` targets from its CURRENT view (uniform-from-view getPeer).
+/// `rng` drives only the application-level sampling.
+BroadcastResult run_broadcast_over_gossip(sim::Network& network,
+                                          sim::CycleEngine& engine,
+                                          const BroadcastParams& params,
+                                          NodeId origin, Rng rng);
+
+/// Baseline: identical epidemic but peers are drawn by the ideal uniform
+/// sampler over the full live membership (what the theory in [24] assumes).
+BroadcastResult run_broadcast_ideal(std::size_t n, const BroadcastParams& params,
+                                    NodeId origin, Rng rng);
+
+}  // namespace pss::apps

@@ -1,0 +1,38 @@
+#include "pss/common/csv.hpp"
+
+#include <filesystem>
+
+#include "pss/common/env.hpp"
+
+namespace pss {
+
+CsvSink::CsvSink(const std::string& name) {
+  auto dir = env::get("PSS_CSV_DIR");
+  if (!dir) return;
+  std::filesystem::create_directories(*dir);
+  path_ = *dir + "/" + name + ".csv";
+  out_.open(path_);
+  enabled_ = out_.is_open();
+}
+
+void CsvSink::write_row(const std::vector<std::string>& cells) {
+  if (!enabled_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& cell = cells[i];
+    const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quote) {
+      out_ << '"';
+      for (char c : cell) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << cell;
+    }
+    if (i + 1 < cells.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+}  // namespace pss

@@ -1,0 +1,59 @@
+#include "pss/common/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pss::env {
+
+std::optional<std::string> get(const std::string& name) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::int64_t get_int(const std::string& name, std::int64_t fallback) {
+  auto raw = get(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    std::int64_t value = std::stoll(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("environment variable " + name +
+                             " is not an integer: '" + *raw + "'");
+  }
+}
+
+double get_double(const std::string& name, double fallback) {
+  auto raw = get(name);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    double value = std::stod(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument("trailing junk");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("environment variable " + name +
+                             " is not a number: '" + *raw + "'");
+  }
+}
+
+bool get_flag(const std::string& name) {
+  auto raw = get(name);
+  if (!raw) return false;
+  std::string v = *raw;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return !(v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+bool full_scale() { return get_flag("PSS_FULL"); }
+
+std::int64_t scaled(const std::string& name, std::int64_t quick, std::int64_t full) {
+  const std::int64_t fallback = full_scale() ? full : quick;
+  return get_int(name, fallback);
+}
+
+}  // namespace pss::env

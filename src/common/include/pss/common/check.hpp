@@ -1,0 +1,39 @@
+// Lightweight precondition / invariant checking.
+//
+// PSS_CHECK is always on (cheap comparisons only on hot paths); it throws
+// std::logic_error so that violations surface in tests and examples rather
+// than corrupting an experiment silently. PSS_DCHECK compiles out in
+// release builds and is used inside per-exchange hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pss::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "PSS_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace pss::detail
+
+#define PSS_CHECK(expr)                                                      \
+  do {                                                                       \
+    if (!(expr)) ::pss::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define PSS_CHECK_MSG(expr, msg)                                              \
+  do {                                                                        \
+    if (!(expr)) ::pss::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PSS_DCHECK(expr) ((void)0)
+#else
+#define PSS_DCHECK(expr) PSS_CHECK(expr)
+#endif

@@ -1,0 +1,36 @@
+// Optional CSV sink for bench series.
+//
+// When PSS_CSV_DIR is set, every bench additionally writes its series as
+// CSV files into that directory so the paper figures can be re-plotted with
+// any external tool. When unset, CsvSink is a no-op.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pss {
+
+/// Writes rows of cells to <dir>/<name>.csv when enabled, else discards.
+class CsvSink {
+ public:
+  /// Creates a sink for logical series `name`; reads PSS_CSV_DIR itself.
+  explicit CsvSink(const std::string& name);
+
+  /// True when a file is actually being written.
+  bool enabled() const { return enabled_; }
+
+  /// Writes one CSV row (cells are escaped minimally: quoted when they
+  /// contain a comma or quote).
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Path of the file being written ("" when disabled).
+  const std::string& path() const { return path_; }
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace pss

@@ -1,0 +1,34 @@
+// Environment-variable driven experiment configuration.
+//
+// Every bench binary reads its scale parameters through these helpers so a
+// single invocation convention works across the whole harness:
+//   PSS_N=10000 PSS_CYCLES=300 PSS_RUNS=100 PSS_SEED=42 ./bench/table1_partitioning
+// PSS_FULL=1 switches all benches to the paper-scale defaults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pss::env {
+
+/// Raw lookup; empty optional when unset or empty.
+std::optional<std::string> get(const std::string& name);
+
+/// Integer lookup with default; throws std::runtime_error on non-numeric.
+std::int64_t get_int(const std::string& name, std::int64_t fallback);
+
+/// Double lookup with default; throws std::runtime_error on non-numeric.
+double get_double(const std::string& name, double fallback);
+
+/// Boolean lookup: unset/0/false/off -> false, anything else -> true.
+bool get_flag(const std::string& name);
+
+/// True when PSS_FULL is set: benches run at full paper scale.
+bool full_scale();
+
+/// Picks `full` when PSS_FULL is set, else the explicit env override,
+/// else `quick`. This is the one knob used by every bench.
+std::int64_t scaled(const std::string& name, std::int64_t quick, std::int64_t full);
+
+}  // namespace pss::env

@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the library flows through Rng so that an
+// experiment is a pure function of (seed, parameters). The generator is
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64, which is the
+// standard way to expand a 64-bit seed into a full 256-bit state without
+// correlation artifacts. Rng satisfies UniformRandomBitGenerator, so it can
+// also be plugged into <random> distributions and std::shuffle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/common/check.hpp"
+
+namespace pss {
+
+/// SplitMix64 step: used for seeding and as a cheap standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo-random generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state via SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Fisher–Yates shuffle of a whole vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) (k <= n), in random order.
+  /// Uses a partial Fisher–Yates over an index vector (O(n) memory) when k
+  /// is large relative to n, and rejection sampling when k << n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator; child sequences are decorrelated
+  /// from the parent and from each other by SplitMix64 remixing.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pss

@@ -1,0 +1,41 @@
+// Plain-text aligned table printer used by the bench harness to emit
+// paper-style tables and figure series on stdout.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pss {
+
+/// Collects rows of string cells and prints them with aligned columns.
+/// The first added row is treated as the header and underlined.
+class TextTable {
+ public:
+  /// Starts a row; subsequent cell() calls append to it.
+  TextTable& row();
+
+  /// Appends a cell to the current row.
+  TextTable& cell(const std::string& value);
+
+  /// Convenience: formats a double with `precision` decimals.
+  TextTable& cell(double value, int precision = 3);
+
+  /// Convenience: integral cell.
+  TextTable& cell(std::int64_t value);
+
+  /// Number of data rows (excluding the header).
+  std::size_t data_rows() const;
+
+  /// Renders the table (header underline, two-space column gap).
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision into a string.
+std::string format_double(double value, int precision = 3);
+
+}  // namespace pss

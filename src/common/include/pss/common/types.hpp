@@ -1,0 +1,27 @@
+// Core scalar types shared by every pss module.
+//
+// The paper's system model (Section 3) is a set of nodes, each with an
+// address used to send messages. In the simulator an address is a dense
+// 32-bit integer id assigned by the network registry; this keeps node
+// descriptors trivially copyable and views cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pss {
+
+/// Address of a node, as handed out by the network registry.
+/// Dense in [0, N) for a simulated network of N nodes.
+using NodeId = std::uint32_t;
+
+/// Hop count ("age" in cycles) carried by a node descriptor.
+using HopCount = std::uint32_t;
+
+/// Simulation cycle index.
+using Cycle = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. getPeer on a singleton group).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace pss

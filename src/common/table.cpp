@@ -1,0 +1,63 @@
+#include "pss/common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "pss/common/check.hpp"
+
+namespace pss {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& value) {
+  PSS_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+TextTable& TextTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+std::size_t TextTable::data_rows() const {
+  return rows_.empty() ? 0 : rows_.size() - 1;
+}
+
+void TextTable::print(std::ostream& os) const {
+  if (rows_.empty()) return;
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+      if (i + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_row(rows_.front());
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (std::size_t r = 1; r < rows_.size(); ++r) print_row(rows_[r]);
+}
+
+}  // namespace pss

@@ -1,0 +1,58 @@
+#include "pss/experiments/degree_trace.hpp"
+
+#include "pss/common/check.hpp"
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/sim/cycle_engine.hpp"
+#include "pss/stats/descriptive.hpp"
+
+namespace pss::experiments {
+
+double DegreeTraceResult::mean_of_node_means() const {
+  stats::Accumulator acc;
+  for (const auto& node_series : series) acc.add(stats::mean(node_series));
+  return acc.mean();
+}
+
+double DegreeTraceResult::stddev_of_node_means() const {
+  stats::Accumulator acc;
+  for (const auto& node_series : series) acc.add(stats::mean(node_series));
+  return acc.stddev_sample();
+}
+
+DegreeTraceResult run_degree_trace(ProtocolSpec spec, const ScenarioParams& params,
+                                   std::size_t traced, Cycle trace_cycles) {
+  PSS_CHECK_MSG(traced > 0 && trace_cycles > 0, "trace dimensions must be positive");
+  ScenarioParams converge = params;
+  converge.sample_interval = params.cycles > 0 ? params.cycles : 1;
+  auto result = run_random_scenario(spec, converge);
+  sim::Network network = std::move(result.network);
+
+  Rng rng(params.seed ^ 0x7E57AB1E5EEDULL);
+  const auto live = network.live_nodes();
+  PSS_CHECK_MSG(traced <= live.size(), "cannot trace more nodes than exist");
+  auto picks = rng.sample_indices(live.size(), traced);
+  std::vector<NodeId> traced_nodes;
+  traced_nodes.reserve(traced);
+  for (std::size_t p : picks) traced_nodes.push_back(live[p]);
+
+  DegreeTraceResult trace;
+  trace.series.assign(traced, {});
+  for (auto& s : trace.series) s.reserve(trace_cycles);
+
+  sim::CycleEngine engine(network);
+  for (Cycle t = 0; t < trace_cycles; ++t) {
+    engine.run_cycle();
+    const auto g = graph::UndirectedGraph::from_network(network);
+    for (std::size_t i = 0; i < traced_nodes.size(); ++i) {
+      const auto v = g.vertex_of(traced_nodes[i]);
+      PSS_CHECK_MSG(v != graph::UndirectedGraph::kNoVertex,
+                    "traced node disappeared from the overlay");
+      trace.series[i].push_back(static_cast<double>(g.degree(v)));
+    }
+    if (t + 1 == trace_cycles) trace.final_avg_degree = graph::average_degree(g);
+  }
+  return trace;
+}
+
+}  // namespace pss::experiments

@@ -1,0 +1,106 @@
+#include "pss/experiments/dual_overlay.hpp"
+
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/undirected_graph.hpp"
+
+namespace pss::experiments {
+
+namespace {
+
+ProtocolSpec fast_spec() {
+  return {PeerSelection::kRand, ViewSelection::kHead, ViewPropagation::kPushPull};
+}
+
+ProtocolSpec slow_spec() {
+  return {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPushPull};
+}
+
+}  // namespace
+
+DualOverlay::DualOverlay(std::size_t n, ProtocolOptions options,
+                         std::uint64_t seed)
+    : fast_(sim::bootstrap::make_random(fast_spec(), options, n, seed)),
+      slow_(sim::bootstrap::make_random(slow_spec(), options, n, seed ^ 0xD0A1ULL)),
+      fast_engine_(fast_),
+      slow_engine_(slow_) {}
+
+void DualOverlay::run_cycle() {
+  fast_engine_.run_cycle();
+  slow_engine_.run_cycle();
+}
+
+void DualOverlay::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) run_cycle();
+}
+
+void DualOverlay::kill(NodeId id) {
+  fast_.kill(id);
+  slow_.kill(id);
+}
+
+void DualOverlay::set_partition_group(NodeId id, std::uint32_t group) {
+  fast_.set_partition_group(id, group);
+  slow_.set_partition_group(id, group);
+}
+
+void DualOverlay::clear_partitions() {
+  fast_.clear_partitions();
+  slow_.clear_partitions();
+}
+
+View DualOverlay::combined_view(NodeId id) const {
+  View combined =
+      View::merge(fast_.node(id).view(), slow_.node(id).view());
+  combined.remove(id);
+  return combined;
+}
+
+std::uint64_t DualOverlay::count_cross_partition_links() const {
+  std::uint64_t cross = 0;
+  for (NodeId id = 0; id < fast_.size(); ++id) {
+    if (!fast_.is_live(id)) continue;
+    const View combined = combined_view(id);
+    for (const auto& d : combined.entries()) {
+      if (fast_.is_live(d.address) &&
+          fast_.partition_group(d.address) != fast_.partition_group(id)) {
+        ++cross;
+      }
+    }
+  }
+  return cross;
+}
+
+std::uint64_t DualOverlay::count_dead_links() const {
+  std::uint64_t dead = 0;
+  for (NodeId id = 0; id < fast_.size(); ++id) {
+    if (!fast_.is_live(id)) continue;
+    const View combined = combined_view(id);
+    for (const auto& d : combined.entries()) {
+      if (!fast_.is_live(d.address)) ++dead;
+    }
+  }
+  return dead;
+}
+
+bool DualOverlay::combined_connected() const {
+  const auto live = fast_.live_nodes();
+  const std::size_t n = live.size();
+  if (n == 0) return true;
+  std::vector<std::uint32_t> vertex_of(fast_.size(),
+                                       graph::UndirectedGraph::kNoVertex);
+  for (std::uint32_t v = 0; v < n; ++v) vertex_of[live[v]] = v;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const View combined = combined_view(live[v]);
+    for (const auto& d : combined.entries()) {
+      if (d.address < vertex_of.size() &&
+          vertex_of[d.address] != graph::UndirectedGraph::kNoVertex) {
+        edges.emplace_back(v, vertex_of[d.address]);
+      }
+    }
+  }
+  graph::UndirectedGraph g(n, std::move(edges));
+  return graph::connected_components(g).connected();
+}
+
+}  // namespace pss::experiments

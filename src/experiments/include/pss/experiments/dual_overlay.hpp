@@ -1,0 +1,60 @@
+// DualOverlay: the Section-10 combination running at network scale.
+//
+// Two complete overlays over the same node population — a fast-healing one
+// (head view selection) and a long-memory one (rand view selection) — with
+// shared liveness and partition state. Applications sample from the union
+// of a node's two views. See dual_view_node.hpp for the single-node API
+// variant; this class is the simulation driver used by tests and the
+// ablation_partition bench.
+#pragma once
+
+#include <cstdint>
+
+#include "pss/membership/view.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::experiments {
+
+class DualOverlay {
+ public:
+  /// Builds both overlays over n nodes with random bootstrap.
+  DualOverlay(std::size_t n, ProtocolOptions options, std::uint64_t seed);
+
+  std::size_t size() const { return fast_.size(); }
+
+  /// Advances both membership protocols by one cycle.
+  void run_cycle();
+  void run(Cycle cycles);
+
+  /// Kills the node in both overlays.
+  void kill(NodeId id);
+
+  /// Mirrors Network partition control on both overlays.
+  void set_partition_group(NodeId id, std::uint32_t group);
+  void clear_partitions();
+
+  /// Union of the node's two views (self excluded, lowest hop wins).
+  View combined_view(NodeId id) const;
+
+  /// Cross-partition links counted over the COMBINED views.
+  std::uint64_t count_cross_partition_links() const;
+
+  /// Dead links counted over the combined views.
+  std::uint64_t count_dead_links() const;
+
+  /// True when the undirected graph over combined views is connected.
+  bool combined_connected() const;
+
+  sim::Network& fast_network() { return fast_; }
+  sim::Network& slow_network() { return slow_; }
+
+ private:
+  sim::Network fast_;
+  sim::Network slow_;
+  sim::CycleEngine fast_engine_;
+  sim::CycleEngine slow_engine_;
+};
+
+}  // namespace pss::experiments

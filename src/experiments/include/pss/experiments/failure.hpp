@@ -1,0 +1,52 @@
+// Catastrophic-failure experiments (paper Section 7).
+//
+// Static robustness (Figure 6): from a converged overlay, remove a random
+// fraction of nodes and measure how many survivors fall outside the largest
+// connected cluster.
+//
+// Dynamic self-healing (Figure 7): kill 50% of the nodes at cycle 300 and
+// keep running the protocol on the damaged overlay, counting dead links
+// (descriptors of failed nodes) every cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/experiments/scenario.hpp"
+#include "pss/protocol/spec.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::experiments {
+
+/// One sweep point of the Figure 6 experiment.
+struct RemovalPoint {
+  double removed_fraction = 0;
+  double avg_outside_largest = 0;  ///< mean over trials (paper's y axis)
+  double partitioned_fraction = 0; ///< trials in which survivors split
+  std::size_t trials = 0;
+};
+
+/// Removes `fraction` of the live nodes of `converged` uniformly at random
+/// (`trials` independent removals per fraction; the converged overlay is
+/// reused read-only) and analyses the connectivity of the survivors.
+std::vector<RemovalPoint> run_static_robustness(const sim::Network& converged,
+                                                const std::vector<double>& fractions,
+                                                std::size_t trials,
+                                                std::uint64_t seed);
+
+/// Figure 7 dynamics. Runs `spec` from the random-init scenario for
+/// params.cycles cycles, kills `kill_fraction` of the nodes, then continues
+/// for `extra_cycles`, recording the total dead-link count after each cycle.
+struct SelfHealingResult {
+  Cycle failure_cycle = 0;
+  std::uint64_t dead_links_at_failure = 0;
+  /// dead_links[i] = overall dead links after cycle failure_cycle + 1 + i.
+  std::vector<std::uint64_t> dead_links;
+  /// Cycles needed to reach <= target dead links; npos when never reached.
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::size_t cycles_to_reach(std::uint64_t target) const;
+};
+SelfHealingResult run_self_healing(ProtocolSpec spec, const ScenarioParams& params,
+                                   Cycle extra_cycles, double kill_fraction);
+
+}  // namespace pss::experiments

@@ -1,0 +1,50 @@
+// Temporary network partition experiment (paper Section 8 discussion).
+//
+// "The only scenario when head view selection is not desirable is temporary
+//  network partitioning. In that case, with head view selection all
+//  partitions will forget about each other very quickly and so quick
+//  self-repair becomes a disadvantage."
+//
+// The experiment: converge an overlay, split the network into two groups
+// for `partition_cycles` cycles (messages across the split are lost, all
+// nodes keep running), then heal the split and observe whether the two
+// sides can re-merge — which requires that some cross-side descriptors
+// survived the separation in somebody's view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/experiments/scenario.hpp"
+#include "pss/protocol/spec.hpp"
+
+namespace pss::experiments {
+
+struct PartitionResult {
+  /// Cross-side view entries before the split (the initial "memory").
+  std::uint64_t cross_links_at_split = 0;
+  /// cross_links_during[i] = cross-side entries after split cycle i+1.
+  std::vector<std::uint64_t> cross_links_during;
+  /// Cross-side entries right after the network heals (before any rejoin
+  /// gossip) — zero means the sides have completely forgotten each other
+  /// and can never re-merge.
+  std::uint64_t cross_links_at_heal = 0;
+  /// Connected components of the overlay `post_cycles` after healing
+  /// (1 = the overlay re-merged).
+  std::size_t components_after_rejoin = 0;
+  std::size_t largest_after_rejoin = 0;
+
+  bool remerged() const { return components_after_rejoin == 1; }
+};
+
+/// Converges `spec` from the random bootstrap (params.cycles cycles),
+/// splits a random `split_fraction` of the nodes into group 1 for
+/// `partition_cycles` cycles, heals, runs `post_cycles` more cycles and
+/// reports the outcome.
+PartitionResult run_partition_experiment(ProtocolSpec spec,
+                                         const ScenarioParams& params,
+                                         double split_fraction,
+                                         Cycle partition_cycles,
+                                         Cycle post_cycles);
+
+}  // namespace pss::experiments

@@ -1,0 +1,36 @@
+// Shared output helpers for the bench harness: every bench prints a
+// parameter banner, paper-style aligned tables, and (optionally) CSV series
+// via PSS_CSV_DIR.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "pss/common/csv.hpp"
+#include "pss/common/table.hpp"
+#include "pss/experiments/scenario.hpp"
+
+namespace pss::experiments {
+
+/// Prints the standard banner: experiment id, paper reference, parameters,
+/// and estimator settings.
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_ref, const ScenarioParams& params,
+                  const std::string& extra = "");
+
+/// Prints a metric series as an aligned table and mirrors it to CSV.
+void print_series(std::ostream& os, const std::string& protocol,
+                  const std::vector<MetricsSample>& series, CsvSink* csv);
+
+/// Properties of the uniform random-view baseline topology, measured on an
+/// actual random c-out graph with the same estimator settings (the
+/// horizontal lines of Figures 2-3).
+struct BaselineMetrics {
+  double avg_degree = 0;
+  double clustering = 0;
+  double path_length = 0;
+};
+BaselineMetrics measure_random_baseline(const ScenarioParams& params);
+
+}  // namespace pss::experiments

@@ -1,0 +1,87 @@
+#include "pss/experiments/reporting.hpp"
+
+#include "pss/common/table.hpp"
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/random_graph.hpp"
+
+namespace pss::experiments {
+
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_ref, const ScenarioParams& params,
+                  const std::string& extra) {
+  os << "=== " << experiment << " ===\n";
+  os << "reproduces: " << paper_ref << "\n";
+  os << "parameters: N=" << params.n << " c=" << params.view_size
+     << " cycles=" << params.cycles << " seed=" << params.seed;
+  if (!params.exact_metrics) {
+    os << " | estimators: path-BFS-sources=" << params.path_sources
+       << " clustering-sample=" << params.clustering_sample;
+  } else {
+    os << " | estimators: exact";
+  }
+  if (!extra.empty()) os << " | " << extra;
+  os << "\n";
+  os << "(set PSS_FULL=1 for paper-scale defaults; PSS_N / PSS_CYCLES / "
+        "PSS_RUNS / PSS_SEED override individually)\n\n";
+}
+
+void print_series(std::ostream& os, const std::string& protocol,
+                  const std::vector<MetricsSample>& series, CsvSink* csv) {
+  os << "protocol " << protocol << "\n";
+  TextTable table;
+  table.row()
+      .cell("cycle")
+      .cell("live")
+      .cell("avg_degree")
+      .cell("clustering")
+      .cell("path_len")
+      .cell("components")
+      .cell("largest")
+      .cell("dead_links");
+  if (csv != nullptr) {
+    csv->write_row({"protocol", "cycle", "live", "avg_degree", "clustering",
+                    "path_len", "reachable", "components", "largest",
+                    "dead_links"});
+  }
+  for (const auto& s : series) {
+    table.row()
+        .cell(static_cast<std::int64_t>(s.cycle))
+        .cell(static_cast<std::int64_t>(s.live_nodes))
+        .cell(s.avg_degree, 2)
+        .cell(s.clustering, 4)
+        .cell(s.path_length, 3)
+        .cell(static_cast<std::int64_t>(s.components))
+        .cell(static_cast<std::int64_t>(s.largest_component))
+        .cell(static_cast<std::int64_t>(s.dead_links));
+    if (csv != nullptr) {
+      csv->write_row({protocol, std::to_string(s.cycle),
+                      std::to_string(s.live_nodes), format_double(s.avg_degree, 4),
+                      format_double(s.clustering, 6), format_double(s.path_length, 4),
+                      format_double(s.reachable_fraction, 4),
+                      std::to_string(s.components),
+                      std::to_string(s.largest_component),
+                      std::to_string(s.dead_links)});
+    }
+  }
+  table.print(os);
+  os << "\n";
+}
+
+BaselineMetrics measure_random_baseline(const ScenarioParams& params) {
+  Rng rng(params.seed ^ 0xBA5E11FE5EEDULL);
+  const auto g = graph::random_view_graph(params.n, params.view_size, rng);
+  BaselineMetrics b;
+  b.avg_degree = graph::average_degree(g);
+  if (params.exact_metrics) {
+    b.clustering = graph::clustering_coefficient(g);
+    b.path_length = graph::average_path_length(g).average;
+  } else {
+    b.clustering =
+        graph::clustering_coefficient_sampled(g, params.clustering_sample, rng);
+    b.path_length =
+        graph::average_path_length_sampled(g, params.path_sources, rng).average;
+  }
+  return b;
+}
+
+}  // namespace pss::experiments

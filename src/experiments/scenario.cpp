@@ -1,0 +1,118 @@
+#include "pss/experiments/scenario.hpp"
+
+#include "pss/common/check.hpp"
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+namespace pss::experiments {
+
+MetricsSample measure(const sim::Network& network, Cycle cycle,
+                      const ScenarioParams& params, Rng& metric_rng) {
+  MetricsSample s;
+  s.cycle = cycle;
+  s.live_nodes = network.live_count();
+  s.dead_links = network.count_dead_links();
+  const auto g = graph::UndirectedGraph::from_network(network);
+  if (g.vertex_count() == 0) return s;
+  s.avg_degree = graph::average_degree(g);
+  if (params.exact_metrics) {
+    s.clustering = graph::clustering_coefficient(g);
+    const auto path = graph::average_path_length(g);
+    s.path_length = path.average;
+    s.reachable_fraction = path.reachable_fraction;
+  } else {
+    s.clustering =
+        graph::clustering_coefficient_sampled(g, params.clustering_sample, metric_rng);
+    const auto path =
+        graph::average_path_length_sampled(g, params.path_sources, metric_rng);
+    s.path_length = path.average;
+    s.reachable_fraction = path.reachable_fraction;
+  }
+  const auto comp = graph::connected_components(g);
+  s.components = comp.count;
+  s.largest_component = comp.largest;
+  return s;
+}
+
+ScenarioResult run_scenario(sim::Network network, const ScenarioParams& params,
+                            const PreCycleHook& pre_cycle) {
+  PSS_CHECK_MSG(params.sample_interval > 0, "sample interval must be positive");
+  // Metric sampling gets its own stream so estimator noise never perturbs
+  // the protocol trajectory.
+  Rng metric_rng(params.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  ScenarioResult result{.series = {}, .network = std::move(network)};
+  sim::CycleEngine engine(result.network);
+  result.series.push_back(measure(result.network, 0, params, metric_rng));
+  for (Cycle cycle = 1; cycle <= params.cycles; ++cycle) {
+    if (pre_cycle) pre_cycle(result.network, cycle);
+    engine.run_cycle();
+    if (cycle % params.sample_interval == 0 || cycle == params.cycles) {
+      result.series.push_back(measure(result.network, cycle, params, metric_rng));
+    }
+  }
+  return result;
+}
+
+ScenarioResult run_random_scenario(ProtocolSpec spec, const ScenarioParams& params) {
+  auto network = sim::bootstrap::make_random(spec, params.protocol_options(),
+                                             params.n, params.seed);
+  return run_scenario(std::move(network), params);
+}
+
+ScenarioResult run_lattice_scenario(ProtocolSpec spec, const ScenarioParams& params) {
+  auto network = sim::bootstrap::make_lattice(spec, params.protocol_options(),
+                                              params.n, params.seed);
+  return run_scenario(std::move(network), params);
+}
+
+ScenarioResult run_growing_scenario(ProtocolSpec spec, const ScenarioParams& params) {
+  sim::Network network(spec, params.protocol_options(), params.seed);
+  const NodeId origin = network.add_node();
+  const std::size_t target = params.n;
+  auto grow = [origin, target, growth = params.growth_per_cycle](
+                  sim::Network& net, Cycle) {
+    std::size_t room = target > net.size() ? target - net.size() : 0;
+    const std::size_t batch = std::min(growth, room);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const NodeId id = net.add_node();
+      // A newcomer knows only the oldest (initial) node — the paper's most
+      // pessimistic bootstrap.
+      net.node(id).init_view(View{{origin, 0}});
+    }
+  };
+  return run_scenario(std::move(network), params, grow);
+}
+
+PartitioningStats run_growing_partitioning(ProtocolSpec spec,
+                                           const ScenarioParams& params,
+                                           std::size_t runs) {
+  PSS_CHECK_MSG(runs > 0, "at least one run required");
+  PartitioningStats stats;
+  stats.spec = spec;
+  stats.runs = runs;
+  double cluster_sum = 0;
+  double largest_sum = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    ScenarioParams p = params;
+    p.seed = params.seed + r;
+    // Partitioning statistics only need the final topology: skip interior
+    // metric sampling for speed.
+    p.sample_interval = params.cycles > 0 ? params.cycles : 1;
+    auto result = run_growing_scenario(spec, p);
+    const auto g = graph::UndirectedGraph::from_network(result.network);
+    const auto comp = graph::connected_components(g);
+    if (comp.count > 1) {
+      ++stats.partitioned_runs;
+      cluster_sum += static_cast<double>(comp.count);
+      largest_sum += static_cast<double>(comp.largest);
+    }
+  }
+  if (stats.partitioned_runs > 0) {
+    stats.avg_clusters = cluster_sum / static_cast<double>(stats.partitioned_runs);
+    stats.avg_largest = largest_sum / static_cast<double>(stats.partitioned_runs);
+  }
+  return stats;
+}
+
+}  // namespace pss::experiments

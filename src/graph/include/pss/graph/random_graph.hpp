@@ -1,0 +1,32 @@
+// Uniform random-view baseline (the horizontal lines in Figures 2-3).
+//
+// The paper compares every overlay against the graph in which each node's
+// view is an independent uniform random sample of c other nodes. This is
+// NOT an Erdős–Rényi G(n,p) graph: it is the undirected closure of a random
+// c-out digraph, whose degree is c plus a Binomial(n-1-c', ~c/n) in-degree
+// contribution, giving mean degree slightly below 2c.
+#pragma once
+
+#include <cstdint>
+
+#include "pss/common/rng.hpp"
+#include "pss/graph/undirected_graph.hpp"
+
+namespace pss::graph {
+
+/// Undirected closure of a uniform random c-out digraph on n vertices.
+UndirectedGraph random_view_graph(std::size_t n, std::size_t c, Rng& rng);
+
+/// Expected mean degree of random_view_graph: 2c − c²/(n−1) (a directed
+/// edge collapses with its reverse with probability c/(n−1)).
+double expected_random_view_degree(std::size_t n, std::size_t c);
+
+/// Expected clustering coefficient ≈ mean degree / n (edge density between
+/// any two neighbours is ~d̄/n for this near-random graph).
+double expected_random_view_clustering(std::size_t n, std::size_t c);
+
+/// Analytic approximation of the average path length of a random graph
+/// with n vertices and mean degree d̄: ln(n)/ln(d̄) (valid for d̄ >> 1).
+double expected_random_path_length(std::size_t n, std::size_t c);
+
+}  // namespace pss::graph

@@ -1,0 +1,72 @@
+// Undirected communication graph (paper Section 4).
+//
+// The directed overlay has an edge (a, b) when a's view holds a descriptor
+// of b; the paper analyses the undirected version (information flow is
+// two-way once a connection is made). This class is an immutable snapshot
+// in CSR-like form: vertices re-indexed to [0, n), sorted adjacency lists,
+// no self-loops, no parallel edges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/membership/view.hpp"
+
+namespace pss::sim {
+class Network;
+}
+
+namespace pss::graph {
+
+class UndirectedGraph {
+ public:
+  /// Builds from raw (possibly duplicated, possibly both-direction) edge
+  /// pairs over vertices [0, n). Self-loops are dropped.
+  UndirectedGraph(std::size_t n, std::vector<std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  /// Snapshot of the live part of a simulated overlay: vertices are live
+  /// nodes (re-indexed in ascending address order), an edge per live->live
+  /// view entry; dead links are ignored.
+  static UndirectedGraph from_network(const sim::Network& network);
+
+  /// Builds from one view per vertex (vertex i's view); descriptor
+  /// addresses must be < views.size(). For tests and baselines.
+  static UndirectedGraph from_views(const std::vector<View>& views);
+
+  std::size_t vertex_count() const { return offsets_.size() - 1; }
+  std::size_t edge_count() const { return neighbors_.size() / 2; }
+
+  /// Sorted neighbour list of vertex v.
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const;
+
+  std::size_t degree(std::uint32_t v) const;
+
+  /// True when {u, v} is an edge (binary search on the shorter list).
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  /// Degrees of all vertices.
+  std::vector<std::size_t> degrees() const;
+
+  /// Original network address of re-indexed vertex v (identity when the
+  /// graph was not built via from_network).
+  NodeId address_of(std::uint32_t v) const;
+
+  /// Re-indexed vertex of a network address, or kInvalidNode-like npos.
+  static constexpr std::uint32_t kNoVertex = 0xFFFFFFFFu;
+  std::uint32_t vertex_of(NodeId address) const;
+
+ private:
+  UndirectedGraph() = default;
+  void build_csr(std::size_t n,
+                 std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+  std::vector<std::size_t> offsets_;        // n+1 CSR offsets
+  std::vector<std::uint32_t> neighbors_;    // 2m sorted-per-vertex entries
+  std::vector<NodeId> address_of_;          // vertex -> original address
+  std::vector<std::uint32_t> vertex_of_;    // address -> vertex (dense map)
+};
+
+}  // namespace pss::graph

@@ -1,0 +1,183 @@
+#include "pss/graph/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "pss/common/check.hpp"
+
+namespace pss::graph {
+
+double average_degree(const UndirectedGraph& g) {
+  if (g.vertex_count() == 0) return 0;
+  return 2.0 * static_cast<double>(g.edge_count()) /
+         static_cast<double>(g.vertex_count());
+}
+
+std::vector<std::size_t> degree_histogram(const UndirectedGraph& g) {
+  std::size_t max_degree = 0;
+  for (std::uint32_t v = 0; v < g.vertex_count(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  std::vector<std::size_t> counts(max_degree + 1, 0);
+  for (std::uint32_t v = 0; v < g.vertex_count(); ++v) ++counts[g.degree(v)];
+  return counts;
+}
+
+DegreeSummary degree_summary(const UndirectedGraph& g) {
+  DegreeSummary s;
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return s;
+  s.min = g.degree(0);
+  s.max = g.degree(0);
+  double sum = 0, sum_sq = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::size_t d = g.degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  s.mean = sum / static_cast<double>(n);
+  s.variance = sum_sq / static_cast<double>(n) - s.mean * s.mean;
+  if (s.variance < 0) s.variance = 0;  // numeric noise
+  return s;
+}
+
+double local_clustering(const UndirectedGraph& g, std::uint32_t v) {
+  const auto nb = g.neighbors(v);
+  const std::size_t d = nb.size();
+  if (d < 2) return 0;
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      if (g.has_edge(nb[i], nb[j])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double clustering_coefficient(const UndirectedGraph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return 0;
+  double sum = 0;
+  for (std::uint32_t v = 0; v < n; ++v) sum += local_clustering(g, v);
+  return sum / static_cast<double>(n);
+}
+
+double clustering_coefficient_sampled(const UndirectedGraph& g,
+                                      std::size_t sample_size, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return 0;
+  if (sample_size >= n) return clustering_coefficient(g);
+  PSS_CHECK_MSG(sample_size > 0, "sample size must be positive");
+  auto picks = rng.sample_indices(n, sample_size);
+  double sum = 0;
+  for (std::size_t v : picks)
+    sum += local_clustering(g, static_cast<std::uint32_t>(v));
+  return sum / static_cast<double>(sample_size);
+}
+
+std::vector<std::uint32_t> bfs_distances(const UndirectedGraph& g,
+                                         std::uint32_t source) {
+  PSS_CHECK_MSG(source < g.vertex_count(), "BFS source out of range");
+  std::vector<std::uint32_t> dist(g.vertex_count(), kUnreachable);
+  std::deque<std::uint32_t> frontier;
+  dist[source] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t du = dist[u];
+    for (std::uint32_t w : g.neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = du + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+PathLengthResult path_length_from_sources(const UndirectedGraph& g,
+                                          const std::vector<std::size_t>& sources) {
+  PathLengthResult r;
+  const std::size_t n = g.vertex_count();
+  if (n < 2 || sources.empty()) return r;
+  double total = 0;
+  std::uint64_t reachable_pairs = 0;
+  std::uint32_t diameter = 0;
+  for (std::size_t s : sources) {
+    const auto dist = bfs_distances(g, static_cast<std::uint32_t>(s));
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == s || dist[v] == kUnreachable) continue;
+      total += static_cast<double>(dist[v]);
+      ++reachable_pairs;
+      diameter = std::max(diameter, dist[v]);
+    }
+  }
+  const std::uint64_t all_pairs =
+      static_cast<std::uint64_t>(sources.size()) * (n - 1);
+  r.average = reachable_pairs > 0 ? total / static_cast<double>(reachable_pairs) : 0;
+  r.reachable_fraction =
+      all_pairs > 0
+          ? static_cast<double>(reachable_pairs) / static_cast<double>(all_pairs)
+          : 1;
+  r.diameter = diameter;
+  return r;
+}
+
+}  // namespace
+
+PathLengthResult average_path_length(const UndirectedGraph& g) {
+  std::vector<std::size_t> sources(g.vertex_count());
+  for (std::size_t i = 0; i < sources.size(); ++i) sources[i] = i;
+  return path_length_from_sources(g, sources);
+}
+
+PathLengthResult average_path_length_sampled(const UndirectedGraph& g,
+                                             std::size_t sources, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (sources >= n) return average_path_length(g);
+  PSS_CHECK_MSG(sources > 0, "source sample must be positive");
+  return path_length_from_sources(g, rng.sample_indices(n, sources));
+}
+
+std::size_t ComponentInfo::outside_largest() const {
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+  return total - largest;
+}
+
+ComponentInfo connected_components(const UndirectedGraph& g) {
+  ComponentInfo info;
+  const std::size_t n = g.vertex_count();
+  info.label.assign(n, UndirectedGraph::kNoVertex);
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (info.label[v] != UndirectedGraph::kNoVertex) continue;
+    const auto id = static_cast<std::uint32_t>(info.sizes.size());
+    std::size_t size = 0;
+    stack.push_back(v);
+    info.label[v] = id;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (std::uint32_t w : g.neighbors(u)) {
+        if (info.label[w] == UndirectedGraph::kNoVertex) {
+          info.label[w] = id;
+          stack.push_back(w);
+        }
+      }
+    }
+    info.sizes.push_back(size);
+  }
+  info.count = info.sizes.size();
+  std::sort(info.sizes.rbegin(), info.sizes.rend());
+  info.largest = info.sizes.empty() ? 0 : info.sizes.front();
+  return info;
+}
+
+}  // namespace pss::graph

@@ -1,0 +1,40 @@
+#include "pss/graph/random_graph.hpp"
+
+#include <cmath>
+
+#include "pss/common/check.hpp"
+
+namespace pss::graph {
+
+UndirectedGraph random_view_graph(std::size_t n, std::size_t c, Rng& rng) {
+  PSS_CHECK_MSG(n >= 2, "graph needs at least two vertices");
+  const std::size_t out = std::min(c, n - 1);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n * out);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    auto picks = rng.sample_indices(n - 1, out);
+    for (std::size_t p : picks) {
+      const auto w = static_cast<std::uint32_t>(p < v ? p : p + 1);
+      edges.emplace_back(v, w);
+    }
+  }
+  return UndirectedGraph(n, std::move(edges));
+}
+
+double expected_random_view_degree(std::size_t n, std::size_t c) {
+  const double cc = static_cast<double>(std::min(c, n - 1));
+  const double denom = static_cast<double>(n - 1);
+  return 2.0 * cc - cc * cc / denom;
+}
+
+double expected_random_view_clustering(std::size_t n, std::size_t c) {
+  return expected_random_view_degree(n, c) / static_cast<double>(n);
+}
+
+double expected_random_path_length(std::size_t n, std::size_t c) {
+  const double d = expected_random_view_degree(n, c);
+  PSS_CHECK_MSG(d > 1.0, "path-length approximation needs mean degree > 1");
+  return std::log(static_cast<double>(n)) / std::log(d);
+}
+
+}  // namespace pss::graph

@@ -1,0 +1,108 @@
+#include "pss/graph/undirected_graph.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::graph {
+
+UndirectedGraph::UndirectedGraph(
+    std::size_t n, std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  address_of_.resize(n);
+  vertex_of_.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    address_of_[v] = v;
+    vertex_of_[v] = v;
+  }
+  build_csr(n, edges);
+}
+
+void UndirectedGraph::build_csr(
+    std::size_t n, std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  // Canonicalize: both orientations present, self-loops dropped, dedup.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> both;
+  both.reserve(edges.size() * 2);
+  for (auto [u, v] : edges) {
+    PSS_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
+    if (u == v) continue;
+    both.emplace_back(u, v);
+    both.emplace_back(v, u);
+  }
+  std::sort(both.begin(), both.end());
+  both.erase(std::unique(both.begin(), both.end()), both.end());
+
+  offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : both) ++offsets_[u + 1];
+  for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
+  neighbors_.resize(both.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [u, v] : both) neighbors_[cursor[u]++] = v;
+  // Per-vertex lists are sorted because `both` was sorted lexicographically.
+}
+
+UndirectedGraph UndirectedGraph::from_network(const sim::Network& network) {
+  const auto live = network.live_nodes();
+  const std::size_t n = live.size();
+  UndirectedGraph g;
+  g.address_of_ = live;
+  g.vertex_of_.assign(network.size(), kNoVertex);
+  for (std::uint32_t v = 0; v < n; ++v) g.vertex_of_[live[v]] = v;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(n * network.options().view_size);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const auto& d : network.node(live[v]).view().entries()) {
+      const std::uint32_t w =
+          d.address < g.vertex_of_.size() ? g.vertex_of_[d.address] : kNoVertex;
+      if (w != kNoVertex) edges.emplace_back(v, w);
+    }
+  }
+  g.build_csr(n, edges);
+  return g;
+}
+
+UndirectedGraph UndirectedGraph::from_views(const std::vector<View>& views) {
+  const std::size_t n = views.size();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const auto& d : views[v].entries()) {
+      PSS_CHECK_MSG(d.address < n, "view references address outside graph");
+      edges.emplace_back(v, d.address);
+    }
+  }
+  return UndirectedGraph(n, std::move(edges));
+}
+
+std::span<const std::uint32_t> UndirectedGraph::neighbors(std::uint32_t v) const {
+  PSS_DCHECK(v + 1 < offsets_.size());
+  return {neighbors_.data() + offsets_[v], neighbors_.data() + offsets_[v + 1]};
+}
+
+std::size_t UndirectedGraph::degree(std::uint32_t v) const {
+  PSS_DCHECK(v + 1 < offsets_.size());
+  return offsets_[v + 1] - offsets_[v];
+}
+
+bool UndirectedGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::size_t> UndirectedGraph::degrees() const {
+  std::vector<std::size_t> out(vertex_count());
+  for (std::uint32_t v = 0; v < out.size(); ++v) out[v] = degree(v);
+  return out;
+}
+
+NodeId UndirectedGraph::address_of(std::uint32_t v) const {
+  PSS_CHECK_MSG(v < address_of_.size(), "vertex out of range");
+  return address_of_[v];
+}
+
+std::uint32_t UndirectedGraph::vertex_of(NodeId address) const {
+  if (address >= vertex_of_.size()) return kNoVertex;
+  return vertex_of_[address];
+}
+
+}  // namespace pss::graph

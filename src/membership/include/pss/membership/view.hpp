@@ -1,0 +1,139 @@
+// Partial view: a bounded, duplicate-free list of node descriptors ordered
+// by increasing hop count (paper Section 3).
+//
+// The view supports exactly the operations the generic skeleton needs:
+//   - merge(a, b): union keeping the lowest hop count per address, ordered;
+//   - increase_hop_count(): bump every entry by one;
+//   - select_head/tail/rand(c): the three view-selection policies;
+//   - first/last element access for head/tail peer selection.
+//
+// Invariants (checked by `validate()` and relied upon throughout):
+//   I1  entries are sorted by (hop_count, address);
+//   I2  at most one entry per address;
+//   I3  size() <= capacity bound supplied by the caller at selection time
+//       (the View itself stores any number of entries so that merge buffers
+//       larger than c can be represented — the *node* enforces c through
+//       select_*).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/membership/node_descriptor.hpp"
+
+namespace pss {
+
+class View {
+ public:
+  View() = default;
+
+  /// Builds a view from arbitrary descriptors; sorts and deduplicates
+  /// (keeping the lowest hop count per address).
+  explicit View(std::vector<NodeDescriptor> entries);
+  View(std::initializer_list<NodeDescriptor> entries);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Sorted, duplicate-free entries (freshest first).
+  const std::vector<NodeDescriptor>& entries() const { return entries_; }
+
+  /// Entry at position i (0 = freshest). Precondition: i < size().
+  const NodeDescriptor& at(std::size_t i) const;
+
+  /// First (lowest hop count) descriptor. Precondition: !empty().
+  const NodeDescriptor& head() const;
+
+  /// Last (highest hop count) descriptor. Precondition: !empty().
+  const NodeDescriptor& tail() const;
+
+  /// True when some entry has this address.
+  bool contains(NodeId address) const;
+
+  /// Hop count of the entry for `address`; kInvalidNode entries never match.
+  /// Precondition: contains(address).
+  HopCount hop_count_of(NodeId address) const;
+
+  /// Inserts a descriptor; if the address is present keeps the lower hop
+  /// count. Returns true when the view changed.
+  bool insert(NodeDescriptor descriptor);
+
+  /// Removes the entry for `address` if present; returns true when removed.
+  bool erase(NodeId address);
+
+  /// increaseHopCount(view) from the skeleton: ages every entry by one hop.
+  void increase_hop_count();
+
+  /// merge(view1, view2): union ordered by hop count, lowest hop count wins
+  /// on duplicate addresses (paper Section 3).
+  static View merge(const View& a, const View& b);
+
+  /// Removes any entry for `self` — a node never stores its own descriptor
+  /// in its final view.
+  void remove(NodeId self) { erase(self); }
+
+  // --- View selection policies (selectView placeholder) -------------------
+
+  /// head policy: the first min(c, size) elements (freshest information).
+  /// Ties at the selection boundary resolve by address (deterministic).
+  View select_head(std::size_t c) const;
+
+  /// tail policy: the last min(c, size) elements (oldest information).
+  /// Ties at the selection boundary resolve by address (deterministic).
+  View select_tail(std::size_t c) const;
+
+  /// head policy with unbiased ties: entries strictly fresher than the
+  /// boundary hop count are all kept; the remaining slots are filled by a
+  /// uniform random draw from the boundary hop-class. The paper orders
+  /// views by hop count only, leaving tie order arbitrary; resolving ties
+  /// by address would systematically favour low addresses (hop-count ties
+  /// are pervasive because descriptors age in lock-step), so the protocol
+  /// engine uses this variant.
+  View select_head_unbiased(std::size_t c, Rng& rng) const;
+
+  /// tail policy with unbiased ties (mirror of select_head_unbiased).
+  View select_tail_unbiased(std::size_t c, Rng& rng) const;
+
+  /// rand policy: uniform sample of min(c, size) elements without
+  /// replacement.
+  View select_rand(std::size_t c, Rng& rng) const;
+
+  // --- Peer selection helpers (selectPeer placeholder) --------------------
+
+  /// rand policy: uniform random address from the view. Precondition: !empty().
+  NodeId peer_rand(Rng& rng) const;
+
+  /// head policy: address with the lowest hop count. Precondition: !empty().
+  /// Deterministic tie-break by address; protocol code uses the unbiased
+  /// variant below.
+  NodeId peer_head() const { return head().address; }
+
+  /// tail policy: address with the highest hop count. Precondition: !empty().
+  /// Deterministic tie-break by address; protocol code uses the unbiased
+  /// variant below.
+  NodeId peer_tail() const { return tail().address; }
+
+  /// head policy with unbiased ties: uniform choice among all entries tied
+  /// at the lowest hop count. Hop-count ties are pervasive (descriptors age
+  /// in lock-step), and a deterministic tie-break would make every node
+  /// with the same tied class contact the same peer — a herding artifact
+  /// the paper's protocols do not have. Precondition: !empty().
+  NodeId peer_head_unbiased(Rng& rng) const;
+
+  /// tail policy with unbiased ties (mirror of peer_head_unbiased).
+  NodeId peer_tail_unbiased(Rng& rng) const;
+
+  /// Throws std::logic_error when an invariant (I1, I2) is violated.
+  void validate() const;
+
+  friend bool operator==(const View&, const View&) = default;
+
+ private:
+  void normalize();
+
+  std::vector<NodeDescriptor> entries_;
+};
+
+}  // namespace pss

@@ -1,0 +1,205 @@
+#include "pss/membership/view.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+
+namespace pss {
+
+View::View(std::vector<NodeDescriptor> entries) : entries_(std::move(entries)) {
+  normalize();
+}
+
+View::View(std::initializer_list<NodeDescriptor> entries)
+    : entries_(entries) {
+  normalize();
+}
+
+void View::normalize() {
+  // Deduplicate by address keeping the lowest hop count: sort by
+  // (address, hop) so each address's freshest copy comes first, drop
+  // adjacent duplicates, then restore the canonical (hop, address) order.
+  // Two O(k log k) sorts on <= ~2c+2 elements; this is the exchange hot
+  // path, so no hash set and no extra allocation.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const NodeDescriptor& a, const NodeDescriptor& b) {
+              if (a.address != b.address) return a.address < b.address;
+              return a.hop_count < b.hop_count;
+            });
+  entries_.erase(std::unique(entries_.begin(), entries_.end(),
+                             [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                               return a.address == b.address;
+                             }),
+                 entries_.end());
+  std::sort(entries_.begin(), entries_.end(), ByHopThenAddress{});
+}
+
+const NodeDescriptor& View::at(std::size_t i) const {
+  PSS_CHECK_MSG(i < entries_.size(), "view index out of range");
+  return entries_[i];
+}
+
+const NodeDescriptor& View::head() const {
+  PSS_CHECK_MSG(!entries_.empty(), "head() on empty view");
+  return entries_.front();
+}
+
+const NodeDescriptor& View::tail() const {
+  PSS_CHECK_MSG(!entries_.empty(), "tail() on empty view");
+  return entries_.back();
+}
+
+bool View::contains(NodeId address) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [address](const NodeDescriptor& d) { return d.address == address; });
+}
+
+HopCount View::hop_count_of(NodeId address) const {
+  for (const auto& d : entries_) {
+    if (d.address == address) return d.hop_count;
+  }
+  PSS_CHECK_MSG(false, "hop_count_of: address not in view");
+  return 0;  // unreachable
+}
+
+bool View::insert(NodeDescriptor descriptor) {
+  for (auto& d : entries_) {
+    if (d.address == descriptor.address) {
+      if (descriptor.hop_count < d.hop_count) {
+        d.hop_count = descriptor.hop_count;
+        std::sort(entries_.begin(), entries_.end(), ByHopThenAddress{});
+        return true;
+      }
+      return false;
+    }
+  }
+  auto pos = std::upper_bound(entries_.begin(), entries_.end(), descriptor,
+                              ByHopThenAddress{});
+  entries_.insert(pos, descriptor);
+  return true;
+}
+
+bool View::erase(NodeId address) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [address](const NodeDescriptor& d) { return d.address == address; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+void View::increase_hop_count() {
+  for (auto& d : entries_) ++d.hop_count;
+  // Order by (hop, address) is preserved under a uniform +1.
+}
+
+View View::merge(const View& a, const View& b) {
+  std::vector<NodeDescriptor> all;
+  all.reserve(a.size() + b.size());
+  all.insert(all.end(), a.entries_.begin(), a.entries_.end());
+  all.insert(all.end(), b.entries_.begin(), b.entries_.end());
+  return View(std::move(all));
+}
+
+View View::select_head(std::size_t c) const {
+  const std::size_t k = std::min(c, entries_.size());
+  View out;
+  out.entries_.assign(entries_.begin(), entries_.begin() + static_cast<std::ptrdiff_t>(k));
+  return out;
+}
+
+View View::select_tail(std::size_t c) const {
+  const std::size_t k = std::min(c, entries_.size());
+  View out;
+  out.entries_.assign(entries_.end() - static_cast<std::ptrdiff_t>(k), entries_.end());
+  return out;
+}
+
+namespace {
+
+// Shared helper: keep every entry whose hop count is strictly inside the
+// kept range, then sample the boundary hop-class uniformly to fill up to c.
+View select_boundary_sampled(const std::vector<NodeDescriptor>& sorted,
+                             std::size_t c, Rng& rng, bool from_head) {
+  const std::size_t n = sorted.size();
+  const std::size_t k = std::min(c, n);
+  if (k == 0) return View{};
+  if (k == n) return View(sorted);
+  // Position of the boundary element in the sorted order.
+  const std::size_t boundary_pos = from_head ? k - 1 : n - k;
+  const HopCount boundary_hop = sorted[boundary_pos].hop_count;
+  std::vector<NodeDescriptor> kept;
+  std::vector<NodeDescriptor> boundary_class;
+  kept.reserve(k);
+  for (const auto& d : sorted) {
+    const bool strictly_inside =
+        from_head ? d.hop_count < boundary_hop : d.hop_count > boundary_hop;
+    if (strictly_inside) {
+      kept.push_back(d);
+    } else if (d.hop_count == boundary_hop) {
+      boundary_class.push_back(d);
+    }
+  }
+  const std::size_t need = k - kept.size();
+  auto picks = rng.sample_indices(boundary_class.size(), need);
+  for (std::size_t p : picks) kept.push_back(boundary_class[p]);
+  return View(std::move(kept));
+}
+
+}  // namespace
+
+View View::select_head_unbiased(std::size_t c, Rng& rng) const {
+  return select_boundary_sampled(entries_, c, rng, /*from_head=*/true);
+}
+
+View View::select_tail_unbiased(std::size_t c, Rng& rng) const {
+  return select_boundary_sampled(entries_, c, rng, /*from_head=*/false);
+}
+
+View View::select_rand(std::size_t c, Rng& rng) const {
+  const std::size_t k = std::min(c, entries_.size());
+  auto picks = rng.sample_indices(entries_.size(), k);
+  std::vector<NodeDescriptor> chosen;
+  chosen.reserve(k);
+  for (std::size_t i : picks) chosen.push_back(entries_[i]);
+  View out;
+  out.entries_ = std::move(chosen);
+  std::sort(out.entries_.begin(), out.entries_.end(), ByHopThenAddress{});
+  return out;
+}
+
+NodeId View::peer_rand(Rng& rng) const {
+  PSS_CHECK_MSG(!entries_.empty(), "peer_rand() on empty view");
+  return entries_[static_cast<std::size_t>(rng.below(entries_.size()))].address;
+}
+
+NodeId View::peer_head_unbiased(Rng& rng) const {
+  PSS_CHECK_MSG(!entries_.empty(), "peer_head_unbiased() on empty view");
+  const HopCount best = entries_.front().hop_count;
+  std::size_t tied = 1;
+  while (tied < entries_.size() && entries_[tied].hop_count == best) ++tied;
+  return entries_[static_cast<std::size_t>(rng.below(tied))].address;
+}
+
+NodeId View::peer_tail_unbiased(Rng& rng) const {
+  PSS_CHECK_MSG(!entries_.empty(), "peer_tail_unbiased() on empty view");
+  const HopCount worst = entries_.back().hop_count;
+  std::size_t first = entries_.size() - 1;
+  while (first > 0 && entries_[first - 1].hop_count == worst) --first;
+  const std::size_t tied = entries_.size() - first;
+  return entries_[first + static_cast<std::size_t>(rng.below(tied))].address;
+}
+
+void View::validate() const {
+  for (std::size_t i = 0; i + 1 < entries_.size(); ++i) {
+    PSS_CHECK_MSG(ByHopThenAddress{}(entries_[i], entries_[i + 1]),
+                  "view entries out of order or duplicated");
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      PSS_CHECK_MSG(entries_[i].address != entries_[j].address,
+                    "duplicate address in view");
+    }
+  }
+}
+
+}  // namespace pss

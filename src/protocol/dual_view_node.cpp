@@ -1,0 +1,41 @@
+#include "pss/protocol/dual_view_node.hpp"
+
+namespace pss {
+
+namespace {
+
+ProtocolSpec fast_spec() {
+  // Newscast-style: quick self-healing, balanced degrees.
+  return {PeerSelection::kRand, ViewSelection::kHead, ViewPropagation::kPushPull};
+}
+
+ProtocolSpec slow_spec() {
+  // Long memory: old descriptors linger, surviving temporary partitions.
+  return {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPushPull};
+}
+
+}  // namespace
+
+DualViewNode::DualViewNode(NodeId self, ProtocolOptions options, Rng rng)
+    : fast_(self, fast_spec(), options, rng.split()),
+      slow_(self, slow_spec(), options, rng.split()),
+      sample_rng_(rng.split()) {}
+
+void DualViewNode::init_view(const View& bootstrap) {
+  fast_.init_view(bootstrap);
+  slow_.init_view(bootstrap);
+}
+
+View DualViewNode::combined_view() const {
+  View combined = View::merge(fast_.view(), slow_.view());
+  combined.remove(self());
+  return combined;
+}
+
+NodeId DualViewNode::get_peer() {
+  const View combined = combined_view();
+  if (combined.empty()) return kInvalidNode;
+  return combined.peer_rand(sample_rng_);
+}
+
+}  // namespace pss

@@ -1,0 +1,91 @@
+#include "pss/protocol/gossip_node.hpp"
+
+#include "pss/common/check.hpp"
+
+namespace pss {
+
+GossipNode::GossipNode(NodeId self, ProtocolSpec spec, ProtocolOptions options,
+                       Rng rng)
+    : self_(self), spec_(spec), options_(options), rng_(rng) {
+  PSS_CHECK_MSG(options_.view_size > 0, "view size c must be positive");
+}
+
+void GossipNode::init_view(const View& bootstrap) {
+  View v = bootstrap;
+  v.remove(self_);
+  view_ = v.select_head(options_.view_size);
+}
+
+void GossipNode::set_view(View v) {
+  v.remove(self_);
+  view_ = std::move(v);
+}
+
+std::optional<NodeId> GossipNode::select_peer() {
+  if (view_.empty()) return std::nullopt;
+  switch (spec_.peer_selection) {
+    case PeerSelection::kRand: return view_.peer_rand(rng_);
+    case PeerSelection::kHead:
+      // Deliberately deterministic (first element of the ordered view):
+      // concentrating contact on the perceived-freshest node is exactly the
+      // herding behaviour that makes the paper exclude (head,*,*) for
+      // "severe clustering" (Section 4.3). See DESIGN.md on tie semantics.
+      return view_.peer_head();
+    case PeerSelection::kTail:
+      // Unbiased within the oldest hop class: the evaluated (tail,*,*)
+      // protocols are stable in the paper, and only tie-unbiased selection
+      // reproduces that (a deterministic tie-break herds the whole network
+      // onto one victim node and partitions the growing overlay).
+      return view_.peer_tail_unbiased(rng_);
+  }
+  return std::nullopt;
+}
+
+View GossipNode::make_active_buffer() const {
+  if (!spec_.push()) return View{};  // empty view triggers the pull reply
+  return View::merge(view_, View{{self_, 0}});
+}
+
+void GossipNode::absorb(const View& aged_incoming) {
+  View buffer = View::merge(aged_incoming, view_);
+  buffer.remove(self_);
+  switch (spec_.view_selection) {
+    case ViewSelection::kRand:
+      view_ = buffer.select_rand(options_.view_size, rng_);
+      break;
+    case ViewSelection::kHead:
+      view_ = buffer.select_head_unbiased(options_.view_size, rng_);
+      break;
+    case ViewSelection::kTail:
+      view_ = buffer.select_tail_unbiased(options_.view_size, rng_);
+      break;
+  }
+}
+
+std::optional<View> GossipNode::handle_message(const View& incoming) {
+  ++stats_.received;
+  View aged = incoming;
+  aged.increase_hop_count();
+  std::optional<View> reply;
+  if (spec_.pull()) {
+    // Reply is built from the pre-merge view, exactly as in Figure 1(b).
+    reply = View::merge(view_, View{{self_, 0}});
+    ++stats_.replies_sent;
+  }
+  absorb(aged);
+  return reply;
+}
+
+void GossipNode::handle_reply(const View& reply) {
+  PSS_DCHECK(spec_.pull());
+  View aged = reply;
+  aged.increase_hop_count();
+  absorb(aged);
+}
+
+void GossipNode::on_contact_failure(NodeId peer) {
+  ++stats_.contact_failures;
+  if (options_.remove_dead_on_failure) view_.erase(peer);
+}
+
+}  // namespace pss

@@ -1,0 +1,172 @@
+#include "pss/protocol/hs_node.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+
+namespace pss {
+
+HSParams HSParams::blind(std::size_t c) { return {c, 0, 0, false, true}; }
+
+HSParams HSParams::healer_profile(std::size_t c) {
+  return {c, c / 2, 0, false, true};
+}
+
+HSParams HSParams::swapper_profile(std::size_t c) {
+  return {c, 0, c / 2, false, true};
+}
+
+HSGossipNode::HSGossipNode(NodeId self, HSParams params, Rng rng)
+    : self_(self), params_(params), rng_(rng) {
+  PSS_CHECK_MSG(params_.view_size >= 2, "view size must be at least 2");
+  PSS_CHECK_MSG(params_.healer <= params_.view_size / 2,
+                "H must not exceed c/2");
+  PSS_CHECK_MSG(params_.swapper + params_.healer <= params_.view_size / 2,
+                "H + S must not exceed c/2");
+}
+
+bool HSGossipNode::knows(NodeId address) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [address](const NodeDescriptor& d) {
+                       return d.address == address;
+                     });
+}
+
+void HSGossipNode::init_view(std::vector<NodeDescriptor> bootstrap) {
+  entries_ = std::move(bootstrap);
+  std::erase_if(entries_, [this](const NodeDescriptor& d) {
+    return d.address == self_;
+  });
+  remove_duplicates();
+  if (entries_.size() > params_.view_size) entries_.resize(params_.view_size);
+}
+
+std::optional<NodeId> HSGossipNode::select_peer() {
+  if (entries_.empty()) return std::nullopt;
+  if (!params_.tail_peer_selection) {
+    return entries_[rng_.below(entries_.size())].address;
+  }
+  // Oldest entry; ties broken uniformly for the same herding-avoidance
+  // reason as View::peer_tail_unbiased.
+  HopCount oldest = 0;
+  for (const auto& d : entries_) oldest = std::max(oldest, d.hop_count);
+  std::size_t tied = 0;
+  for (const auto& d : entries_) tied += (d.hop_count == oldest) ? 1 : 0;
+  std::size_t pick = rng_.below(tied);
+  for (const auto& d : entries_) {
+    if (d.hop_count == oldest && pick-- == 0) return d.address;
+  }
+  return std::nullopt;  // unreachable
+}
+
+std::vector<NodeDescriptor> HSGossipNode::make_buffer() {
+  // view.permute(); move the H oldest to the end; the head of the view is
+  // then what gets sent (and what S swaps away afterwards).
+  rng_.shuffle(entries_);
+  const std::size_t h = std::min(params_.healer, entries_.size());
+  if (h > 0) {
+    // Age threshold of the h-th oldest entry (ties counted exactly).
+    std::vector<HopCount> ages;
+    ages.reserve(entries_.size());
+    for (const auto& d : entries_) ages.push_back(d.hop_count);
+    std::nth_element(ages.begin(), ages.end() - static_cast<std::ptrdiff_t>(h),
+                     ages.end());
+    const HopCount threshold = ages[ages.size() - h];
+    std::size_t strictly_older = 0;
+    for (const auto& d : entries_) strictly_older += d.hop_count > threshold;
+    std::size_t at_threshold_to_move = h - strictly_older;
+    // Stable split: survivors keep their shuffled order up front, the h
+    // oldest go to the back.
+    std::vector<NodeDescriptor> front, back;
+    front.reserve(entries_.size() - h);
+    back.reserve(h);
+    for (const auto& d : entries_) {
+      const bool move_old =
+          d.hop_count > threshold ||
+          (d.hop_count == threshold && at_threshold_to_move > 0 &&
+           (at_threshold_to_move--, true));
+      (move_old ? back : front).push_back(d);
+    }
+    entries_ = std::move(front);
+    entries_.insert(entries_.end(), back.begin(), back.end());
+  }
+  std::vector<NodeDescriptor> buffer;
+  buffer.reserve(params_.buffer_size());
+  buffer.push_back({self_, 0});
+  const std::size_t take =
+      std::min(params_.buffer_size() > 0 ? params_.buffer_size() - 1 : 0,
+               entries_.size());
+  for (std::size_t i = 0; i < take; ++i) buffer.push_back(entries_[i]);
+  return buffer;
+}
+
+void HSGossipNode::remove_duplicates() {
+  // Keep the first occurrence with the LOWEST age per address, preserving
+  // list order of the survivors.
+  std::vector<NodeDescriptor> unique;
+  unique.reserve(entries_.size());
+  for (const auto& d : entries_) {
+    auto it = std::find_if(unique.begin(), unique.end(),
+                           [&d](const NodeDescriptor& u) {
+                             return u.address == d.address;
+                           });
+    if (it == unique.end()) {
+      unique.push_back(d);
+    } else if (d.hop_count < it->hop_count) {
+      it->hop_count = d.hop_count;
+    }
+  }
+  entries_ = std::move(unique);
+}
+
+void HSGossipNode::remove_oldest(std::size_t count) {
+  for (std::size_t i = 0; i < count && !entries_.empty(); ++i) {
+    auto it = std::max_element(entries_.begin(), entries_.end(),
+                               [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                                 return a.hop_count < b.hop_count;
+                               });
+    entries_.erase(it);
+  }
+}
+
+void HSGossipNode::integrate(const std::vector<NodeDescriptor>& received) {
+  // appendfresh: received entries go to the END of the list.
+  for (const auto& d : received) {
+    if (d.address != self_) entries_.push_back(d);
+  }
+  remove_duplicates();
+  const std::size_t c = params_.view_size;
+  // removeOldItems(min(H, size - c)).
+  if (entries_.size() > c) {
+    remove_oldest(std::min(params_.healer, entries_.size() - c));
+  }
+  // removeHead(min(S, size - c)): drop the items we just sent (they sit at
+  // the head after make_buffer's reordering) — the swap semantics.
+  if (entries_.size() > c) {
+    const std::size_t s = std::min(params_.swapper, entries_.size() - c);
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(s));
+  }
+  // removeAtRandom until size == c.
+  while (entries_.size() > c) {
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(rng_.below(entries_.size())));
+  }
+}
+
+void HSGossipNode::increase_age() {
+  for (auto& d : entries_) ++d.hop_count;
+}
+
+void HSGossipNode::validate() const {
+  PSS_CHECK_MSG(entries_.size() <= params_.view_size, "view exceeds c");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    PSS_CHECK_MSG(entries_[i].address != self_, "view contains self");
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      PSS_CHECK_MSG(entries_[i].address != entries_[j].address,
+                    "duplicate address in HS view");
+    }
+  }
+}
+
+}  // namespace pss

@@ -1,0 +1,55 @@
+// Dual-view node — the combination the paper's conclusion proposes
+// (Section 10):
+//
+//   "In many cases, combining different settings will be necessary. Such a
+//    combination can, for instance, be achieved by introducing a second
+//    view for gossiping membership information and running more protocols
+//    concurrently."
+//
+// DualViewNode runs two GossipNode instances on the same address:
+//   - a FAST view (head view selection) giving exponential self-healing,
+//     balanced degrees and quick turnover;
+//   - a SLOW view (rand view selection) retaining long-memory descriptors
+//     that survive temporary partitions.
+// getPeer() draws from the union; the Section-8 partition scenario is where
+// the combination earns its keep (fast healing AND re-merge capability),
+// which ablation_partition demonstrates.
+#pragma once
+
+#include <optional>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/protocol/gossip_node.hpp"
+
+namespace pss {
+
+class DualViewNode {
+ public:
+  /// Both sub-protocols use pushpull with rand peer selection; `options`
+  /// applies to each view separately (total state is 2c descriptors).
+  DualViewNode(NodeId self, ProtocolOptions options, Rng rng);
+
+  NodeId self() const { return fast_.self(); }
+
+  GossipNode& fast() { return fast_; }
+  GossipNode& slow() { return slow_; }
+  const GossipNode& fast() const { return fast_; }
+  const GossipNode& slow() const { return slow_; }
+
+  /// Seeds both views from the same bootstrap descriptors.
+  void init_view(const View& bootstrap);
+
+  /// Union of the two views (lowest hop count on duplicates, self excluded).
+  View combined_view() const;
+
+  /// Sample from the combined view; kInvalidNode when both views are empty.
+  NodeId get_peer();
+
+ private:
+  GossipNode fast_;
+  GossipNode slow_;
+  Rng sample_rng_;
+};
+
+}  // namespace pss

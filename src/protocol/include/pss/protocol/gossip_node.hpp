@@ -1,0 +1,118 @@
+// The generic gossip skeleton (paper Figure 1), factored as a pair of
+// message handlers so the same node logic runs unchanged under the
+// cycle-driven engine (atomic exchanges, as in the paper's simulator) and
+// the asynchronous event-driven engine (explicit messages with latency).
+//
+// Mapping from the paper's pseudo-code:
+//   active thread                         GossipNode
+//   -------------                         ----------
+//   p <- selectPeer()                     select_peer(rng)
+//   if push: send merge(view,{me,0})      make_active_buffer()
+//   else:    send {}                      make_active_buffer() (empty)
+//   if pull: receive viewp; age; merge;   handle_reply(viewp)
+//            view <- selectView(buffer)
+//
+//   passive thread
+//   --------------
+//   receive (p, viewp); age viewp;        handle_message(viewp) ->
+//   if pull: reply merge(view,{me,0})       optional reply buffer
+//   view <- selectView(merge(viewp,view))
+//
+// Deviations from the raw pseudo-code (both documented in DESIGN.md):
+//  1. A node's own descriptor is removed from the merged buffer before view
+//     selection, so the final view never contains the node itself. Without
+//     this, descriptors of the node itself bouncing back would occupy view
+//     slots and (under head selection) could evict all genuine neighbours.
+//  2. age_view() increments every stored hop count once per cycle (called
+//     by the engines when the active thread fires). The Figure-1 pseudo-code
+//     ages descriptors only while they travel, under which a locally stored
+//     hop-0 descriptor would remain "freshest" forever and head view
+//     selection would stagnate (a lattice bootstrap would never converge and
+//     dead links would never age out — contradicting the paper's own
+//     Figures 3 and 7). Per-cycle aging is exactly the timestamp semantics
+//     of the authors' Newscast implementation [Jelasity, Kowalczyk, van
+//     Steen, 2003] and of the journal version of this paper (TOCS 2007,
+//     "view.increaseAge()"), so hop count = age in cycles + hops travelled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/membership/view.hpp"
+#include "pss/protocol/spec.hpp"
+
+namespace pss {
+
+/// Per-node exchange counters, useful for cost accounting in benches.
+struct NodeStats {
+  std::uint64_t initiated = 0;        ///< active-thread wake-ups with a peer
+  std::uint64_t received = 0;         ///< passive-thread messages handled
+  std::uint64_t replies_sent = 0;     ///< pull replies produced
+  std::uint64_t contact_failures = 0; ///< exchanges that hit a dead peer
+};
+
+/// One protocol participant: a partial view plus the Figure-1 handlers.
+class GossipNode {
+ public:
+  /// `rng` drives this node's random choices (peer/view selection); derive
+  /// it from the experiment master seed for reproducibility.
+  GossipNode(NodeId self, ProtocolSpec spec, ProtocolOptions options, Rng rng);
+
+  NodeId self() const { return self_; }
+  const ProtocolSpec& spec() const { return spec_; }
+  const ProtocolOptions& options() const { return options_; }
+  const View& view() const { return view_; }
+  const NodeStats& stats() const { return stats_; }
+
+  /// init() of the peer sampling API: seeds the view with bootstrap
+  /// descriptors (hop count 0), dropping any descriptor of the node itself
+  /// and truncating to c.
+  void init_view(const View& bootstrap);
+
+  /// Ages every stored descriptor by one hop. Engines call this exactly
+  /// once per cycle, when this node's active thread fires (see deviation 2
+  /// in the header comment).
+  void age_view() { view_.increase_hop_count(); }
+
+  /// selectPeer(): applies the peer-selection policy to the current view.
+  /// Returns nullopt when the view is empty (nothing to gossip with).
+  std::optional<NodeId> select_peer();
+
+  /// Buffer the active thread sends: merge(view, {myDescriptor}) when the
+  /// protocol pushes, the empty view otherwise (pull-only trigger).
+  View make_active_buffer() const;
+
+  /// Passive thread: ages the incoming buffer, builds the pull reply from
+  /// the pre-merge view if the protocol pulls, then merges and selects.
+  /// Returns the reply buffer to send back, or nullopt for push-only.
+  std::optional<View> handle_message(const View& incoming);
+
+  /// Active thread tail: ages the pull reply, merges and selects.
+  void handle_reply(const View& reply);
+
+  /// Called by the engine when the contacted peer was dead. With the
+  /// remove_dead_on_failure extension the dead descriptor is evicted;
+  /// paper-faithful default is to do nothing.
+  void on_contact_failure(NodeId peer);
+
+  /// Engine bookkeeping hook: counts an initiated exchange.
+  void note_initiated() { ++stats_.initiated; }
+
+  /// Direct view replacement for bootstrap drivers and tests.
+  void set_view(View v);
+
+ private:
+  /// merge + drop-self + selectView, shared by both handlers.
+  void absorb(const View& aged_incoming);
+
+  NodeId self_;
+  ProtocolSpec spec_;
+  ProtocolOptions options_;
+  Rng rng_;
+  View view_;
+  NodeStats stats_;
+};
+
+}  // namespace pss

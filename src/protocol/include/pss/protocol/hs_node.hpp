@@ -1,0 +1,101 @@
+// Generalized (H, S) gossip node — the design space the authors developed
+// as the direct follow-up of this paper (Jelasity, Voulgaris, Guerraoui,
+// Kermarrec, van Steen: "Gossip-based Peer Sampling", ACM TOCS 2007). The
+// Middleware'04 paper's conclusion calls for combining design choices; the
+// journal version recasts the whole space with two integer parameters:
+//
+//   H ("healer")  — after an exchange, remove up to H of the OLDEST items:
+//                   aggressive self-healing;
+//   S ("swapper") — remove up to S of the items just SENT to the peer:
+//                   the exchange becomes a swap, minimizing degree skew.
+//
+// Skeleton (TOCS Fig. 1, adapted to this codebase's conventions):
+//   active thread:
+//     p <- selectPeer()                      (rand | tail = oldest)
+//     if push: buffer <- ((self,0)) ++ first c/2-1 items of
+//              permute(view with H oldest moved to the end)
+//     send buffer to p;  if pull: receive buffer_p, select(buffer_p)
+//     view.increaseAge()
+//   passive thread mirrors it.
+//   select(buffer): append buffer, dedup (keep lowest age), remove
+//     min(H, size-c) oldest, remove min(S, size-c) of the items sent,
+//     then random items until size == c.
+//
+// Known instances: blind = (H=0, S=0); healer = (H=c/2, S=0);
+// swapper = (H=0, S=c/2); Cyclon's shuffle corresponds to tail peer
+// selection with swapper behaviour.
+//
+// Unlike GossipNode, the HS view is an ORDERED LIST (order carries
+// protocol meaning: the head holds the items just exchanged), so this
+// class keeps its own entry vector rather than reusing pss::View.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/membership/node_descriptor.hpp"
+
+namespace pss {
+
+struct HSParams {
+  std::size_t view_size = 30;  ///< c
+  std::size_t healer = 0;      ///< H, in [0, c/2]
+  std::size_t swapper = 0;     ///< S, in [0, c/2 - H]
+  bool tail_peer_selection = false;  ///< false = rand, true = oldest
+  bool pushpull = true;              ///< false = push-only
+
+  /// Items sent per exchange: self + (c/2 - 1) others.
+  std::size_t buffer_size() const { return view_size / 2; }
+
+  static HSParams blind(std::size_t c = 30);
+  static HSParams healer_profile(std::size_t c = 30);
+  static HSParams swapper_profile(std::size_t c = 30);
+};
+
+class HSGossipNode {
+ public:
+  HSGossipNode(NodeId self, HSParams params, Rng rng);
+
+  NodeId self() const { return self_; }
+  const HSParams& params() const { return params_; }
+
+  /// Entries in protocol order (NOT sorted; head = most recently placed).
+  const std::vector<NodeDescriptor>& entries() const { return entries_; }
+
+  std::size_t view_size() const { return entries_.size(); }
+  bool knows(NodeId address) const;
+
+  /// Seeds the view (drops self, truncates to c, age as given).
+  void init_view(std::vector<NodeDescriptor> bootstrap);
+
+  /// selectPeer(): rand or oldest entry; nullopt when the view is empty.
+  std::optional<NodeId> select_peer();
+
+  /// Builds the exchange buffer AND reorders the view so that the sent
+  /// items sit at the head (the state select() expects for swapping).
+  /// Contains (self, 0) first, then up to c/2 - 1 view items.
+  std::vector<NodeDescriptor> make_buffer();
+
+  /// select(c,H,S,buffer): integrates a received buffer.
+  void integrate(const std::vector<NodeDescriptor>& received);
+
+  /// increaseAge(): called once per cycle by the owner.
+  void increase_age();
+
+  /// Invariants: size <= c, no duplicates, never contains self.
+  void validate() const;
+
+ private:
+  void remove_duplicates();
+  void remove_oldest(std::size_t count);
+
+  NodeId self_;
+  HSParams params_;
+  Rng rng_;
+  std::vector<NodeDescriptor> entries_;
+};
+
+}  // namespace pss

@@ -1,0 +1,80 @@
+// Protocol design space (paper Section 3).
+//
+// A gossip-based peer sampling protocol is identified by a 3-tuple
+// (peer selection, view selection, view propagation):
+//   peer selection    — which neighbour to exchange with: rand / head / tail
+//   view selection    — how to truncate the merged buffer:  rand / head / tail
+//   view propagation  — symmetry of the exchange:           push / pull / pushpull
+// yielding 27 instances. Known protocols map onto tuples:
+//   Lpbcast  = (rand, rand, push)
+//   Newscast = (rand, head, pushpull)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pss {
+
+enum class PeerSelection { kRand, kHead, kTail };
+enum class ViewSelection { kRand, kHead, kTail };
+enum class ViewPropagation { kPush, kPull, kPushPull };
+
+std::string_view to_string(PeerSelection p);
+std::string_view to_string(ViewSelection v);
+std::string_view to_string(ViewPropagation v);
+
+/// One point in the 3-dimensional protocol design space.
+struct ProtocolSpec {
+  PeerSelection peer_selection = PeerSelection::kRand;
+  ViewSelection view_selection = ViewSelection::kHead;
+  ViewPropagation view_propagation = ViewPropagation::kPushPull;
+
+  /// True when the active thread sends its view (push or pushpull).
+  bool push() const { return view_propagation != ViewPropagation::kPull; }
+
+  /// True when the active thread requests the peer's view (pull or pushpull).
+  bool pull() const { return view_propagation != ViewPropagation::kPush; }
+
+  /// Paper-style name, e.g. "(rand,head,pushpull)".
+  std::string name() const;
+
+  /// Parses "(rand,head,pushpull)" or "rand,head,pushpull" (case-insensitive).
+  /// Returns nullopt on malformed input.
+  static std::optional<ProtocolSpec> parse(std::string_view text);
+
+  /// Newscast: (rand, head, pushpull).
+  static ProtocolSpec newscast();
+
+  /// The peer-sampling component of Lpbcast: (rand, rand, push).
+  static ProtocolSpec lpbcast();
+
+  /// All 27 combinations, in (ps, vs, vp) lexicographic order.
+  static std::vector<ProtocolSpec> all();
+
+  /// The 8 instances the paper evaluates after excluding the degenerate
+  /// dimensions (Section 4.3): peer selection in {rand, tail}, view
+  /// selection in {rand, head}, propagation in {push, pushpull}.
+  static std::vector<ProtocolSpec> evaluated();
+
+  /// The degenerate variants excluded in Section 4.3: (head,*,*) clusters
+  /// severely, (*,tail,*) cannot absorb joining nodes, (*,*,pull) converges
+  /// to a star topology.
+  static std::vector<ProtocolSpec> excluded();
+
+  friend bool operator==(const ProtocolSpec&, const ProtocolSpec&) = default;
+};
+
+/// Options orthogonal to the paper's 3-tuple.
+struct ProtocolOptions {
+  /// Maximal view size c (paper evaluation: 30).
+  std::size_t view_size = 30;
+
+  /// Extension (ablation A1): drop a descriptor from the view when a
+  /// contact attempt to it fails. The paper's simulator does NOT do this —
+  /// dead links decay only through view selection — so the default is off.
+  bool remove_dead_on_failure = false;
+};
+
+}  // namespace pss

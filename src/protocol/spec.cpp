@@ -1,0 +1,149 @@
+#include "pss/protocol/spec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace pss {
+
+std::string_view to_string(PeerSelection p) {
+  switch (p) {
+    case PeerSelection::kRand: return "rand";
+    case PeerSelection::kHead: return "head";
+    case PeerSelection::kTail: return "tail";
+  }
+  return "?";
+}
+
+std::string_view to_string(ViewSelection v) {
+  switch (v) {
+    case ViewSelection::kRand: return "rand";
+    case ViewSelection::kHead: return "head";
+    case ViewSelection::kTail: return "tail";
+  }
+  return "?";
+}
+
+std::string_view to_string(ViewPropagation v) {
+  switch (v) {
+    case ViewPropagation::kPush: return "push";
+    case ViewPropagation::kPull: return "pull";
+    case ViewPropagation::kPushPull: return "pushpull";
+  }
+  return "?";
+}
+
+std::string ProtocolSpec::name() const {
+  std::string out = "(";
+  out += to_string(peer_selection);
+  out += ",";
+  out += to_string(view_selection);
+  out += ",";
+  out += to_string(view_propagation);
+  out += ")";
+  return out;
+}
+
+namespace {
+
+std::string lower_strip(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '(' || c == ')' || std::isspace(static_cast<unsigned char>(c))) continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::optional<PeerSelection> parse_ps(std::string_view t) {
+  if (t == "rand") return PeerSelection::kRand;
+  if (t == "head") return PeerSelection::kHead;
+  if (t == "tail") return PeerSelection::kTail;
+  return std::nullopt;
+}
+
+std::optional<ViewSelection> parse_vs(std::string_view t) {
+  if (t == "rand") return ViewSelection::kRand;
+  if (t == "head") return ViewSelection::kHead;
+  if (t == "tail") return ViewSelection::kTail;
+  return std::nullopt;
+}
+
+std::optional<ViewPropagation> parse_vp(std::string_view t) {
+  if (t == "push") return ViewPropagation::kPush;
+  if (t == "pull") return ViewPropagation::kPull;
+  if (t == "pushpull") return ViewPropagation::kPushPull;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ProtocolSpec> ProtocolSpec::parse(std::string_view text) {
+  const std::string clean = lower_strip(text);
+  if (clean == "newscast") return newscast();
+  if (clean == "lpbcast") return lpbcast();
+  std::array<std::string, 3> parts;
+  std::size_t part = 0;
+  for (char c : clean) {
+    if (c == ',') {
+      if (++part >= parts.size()) return std::nullopt;
+    } else {
+      parts[part].push_back(c);
+    }
+  }
+  if (part != 2) return std::nullopt;
+  auto ps = parse_ps(parts[0]);
+  auto vs = parse_vs(parts[1]);
+  auto vp = parse_vp(parts[2]);
+  if (!ps || !vs || !vp) return std::nullopt;
+  return ProtocolSpec{*ps, *vs, *vp};
+}
+
+ProtocolSpec ProtocolSpec::newscast() {
+  return {PeerSelection::kRand, ViewSelection::kHead, ViewPropagation::kPushPull};
+}
+
+ProtocolSpec ProtocolSpec::lpbcast() {
+  return {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPush};
+}
+
+std::vector<ProtocolSpec> ProtocolSpec::all() {
+  std::vector<ProtocolSpec> out;
+  out.reserve(27);
+  for (auto ps : {PeerSelection::kRand, PeerSelection::kHead, PeerSelection::kTail})
+    for (auto vs : {ViewSelection::kRand, ViewSelection::kHead, ViewSelection::kTail})
+      for (auto vp : {ViewPropagation::kPush, ViewPropagation::kPull,
+                      ViewPropagation::kPushPull})
+        out.push_back({ps, vs, vp});
+  return out;
+}
+
+std::vector<ProtocolSpec> ProtocolSpec::evaluated() {
+  // Paper Figures 3-7 / Tables 1-2 order: rand view selection variants and
+  // head view selection variants, push before pushpull, rand peer selection
+  // before tail.
+  return {
+      {PeerSelection::kRand, ViewSelection::kHead, ViewPropagation::kPush},
+      {PeerSelection::kTail, ViewSelection::kHead, ViewPropagation::kPush},
+      {PeerSelection::kRand, ViewSelection::kHead, ViewPropagation::kPushPull},
+      {PeerSelection::kTail, ViewSelection::kHead, ViewPropagation::kPushPull},
+      {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPush},
+      {PeerSelection::kTail, ViewSelection::kRand, ViewPropagation::kPush},
+      {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPushPull},
+      {PeerSelection::kTail, ViewSelection::kRand, ViewPropagation::kPushPull},
+  };
+}
+
+std::vector<ProtocolSpec> ProtocolSpec::excluded() {
+  std::vector<ProtocolSpec> out;
+  for (const auto& spec : all()) {
+    const bool head_ps = spec.peer_selection == PeerSelection::kHead;
+    const bool tail_vs = spec.view_selection == ViewSelection::kTail;
+    const bool pull = spec.view_propagation == ViewPropagation::kPull;
+    if (head_ps || tail_vs || pull) out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace pss

@@ -1,0 +1,23 @@
+#include "pss/service/ideal_uniform_sampler.hpp"
+
+namespace pss {
+
+IdealUniformSampler::IdealUniformSampler(NodeId self, std::size_t group_size,
+                                         Rng rng)
+    : self_(self), group_size_(group_size), rng_(rng) {}
+
+void IdealUniformSampler::set_group_size(std::size_t group_size) {
+  group_size_ = group_size;
+}
+
+NodeId IdealUniformSampler::get_peer() {
+  if (group_size_ < 2) return kInvalidNode;
+  // Sample from group \ {self} by shifting indices at or above self.
+  const bool self_in_group = self_ < group_size_;
+  const std::size_t pool = self_in_group ? group_size_ - 1 : group_size_;
+  auto pick = static_cast<NodeId>(rng_.below(pool));
+  if (self_in_group && pick >= self_) ++pick;
+  return pick;
+}
+
+}  // namespace pss

@@ -1,0 +1,34 @@
+// Ideal independent uniform sampler — the baseline every gossip-based
+// implementation is compared against (paper Sections 2 and 4).
+//
+// This is the "every node knows everyone" implementation whose maintenance
+// cost the paper argues is unscalable; in the simulator it is free, so it
+// serves as the ground-truth sampling service for baseline comparisons in
+// examples and benches.
+#pragma once
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+class IdealUniformSampler {
+ public:
+  /// Samples uniformly from [0, group_size) \ {self}.
+  IdealUniformSampler(NodeId self, std::size_t group_size, Rng rng);
+
+  /// Adjusts the known group size (full-membership services track joins
+  /// and leaves out of band).
+  void set_group_size(std::size_t group_size);
+
+  /// Uniform random member other than self; kInvalidNode for groups of
+  /// size < 2.
+  NodeId get_peer();
+
+ private:
+  NodeId self_;
+  std::size_t group_size_;
+  Rng rng_;
+};
+
+}  // namespace pss

@@ -1,0 +1,65 @@
+// The peer sampling service API (paper Section 2).
+//
+// The service exposes exactly two methods to applications:
+//   init()    — initialize the service on this node (bootstrap the view from
+//               out-of-band contact addresses);
+//   getPeer() — return one peer address sampled from the group.
+// There is deliberately no stop(): departed nodes are forgotten by the
+// gossip layer itself (their descriptors age out of views).
+//
+// This implementation backs the service with a GossipNode whose view is
+// maintained by one of the 27 framework protocols. getPeer() samples from
+// the current partial view; two strategies are provided:
+//   kUniformFromView — independent uniform choice from the view (the
+//                      paper's "simplest possible implementation");
+//   kShuffledQueue   — drains a shuffled copy of the view before resampling,
+//                      maximizing the diversity of consecutive samples (the
+//                      optimization the paper mentions as possible).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/protocol/gossip_node.hpp"
+
+namespace pss {
+
+class PeerSamplingService {
+ public:
+  enum class GetPeerStrategy { kUniformFromView, kShuffledQueue };
+
+  /// The service wraps an existing gossip node (the node's lifetime must
+  /// cover the service's). `rng` drives getPeer sampling only.
+  PeerSamplingService(GossipNode& node, Rng rng,
+                      GetPeerStrategy strategy = GetPeerStrategy::kUniformFromView);
+
+  /// init(): seeds the underlying view from bootstrap contacts (hop 0).
+  /// Idempotent: repeated calls after the first are ignored, matching the
+  /// "if this has not been done before" clause of the specification.
+  void init(std::span<const NodeId> contacts);
+
+  bool initialized() const { return initialized_; }
+
+  /// getPeer(): one sampled peer address, or kInvalidNode when the node
+  /// currently knows no other member (singleton group or empty view).
+  NodeId get_peer();
+
+  /// Convenience: k samples via repeated getPeer() calls.
+  std::vector<NodeId> get_peers(std::size_t k);
+
+  GetPeerStrategy strategy() const { return strategy_; }
+  const GossipNode& node() const { return *node_; }
+
+ private:
+  NodeId pop_from_queue();
+
+  GossipNode* node_;
+  Rng rng_;
+  GetPeerStrategy strategy_;
+  bool initialized_ = false;
+  std::vector<NodeId> queue_;  ///< shuffled-queue strategy state
+};
+
+}  // namespace pss

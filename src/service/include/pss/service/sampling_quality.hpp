@@ -1,0 +1,48 @@
+// Statistical quality assessment of a peer sampling service — the paper's
+// central question ("is getPeer() a uniform random sample?") made
+// operational. Given a stream of samples drawn by one consumer, reports:
+//   - coverage (distinct peers seen),
+//   - Pearson chi-square statistic against the uniform distribution over
+//     the population, with a normal-approximation p-value (Wilson-Hilferty),
+//   - hit-count coefficient of variation,
+//   - consecutive-repeat rate vs the uniform expectation.
+// The paper's headline result in these terms: every gossip-based
+// implementation FAILS the uniformity test while the IdealUniformSampler
+// passes it; tests and ablation_getpeer verify both directions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+
+namespace pss {
+
+struct UniformityReport {
+  std::size_t draws = 0;
+  std::size_t population = 0;     ///< candidate peers (excludes the consumer)
+  std::size_t distinct = 0;       ///< distinct peers actually returned
+  double chi_square = 0;          ///< Pearson statistic, df = population - 1
+  double p_value = 0;             ///< P(chi2 >= observed | uniform)
+  double hit_cv = 0;              ///< stddev/mean of per-peer hit counts
+  double repeat_rate = 0;         ///< fraction of consecutive equal samples
+  double expected_repeat_rate = 0;  ///< 1/population under uniformity
+
+  /// Conventional read: uniform at significance alpha when p_value >= alpha.
+  bool plausibly_uniform(double alpha = 0.01) const { return p_value >= alpha; }
+};
+
+/// Assesses a sample stream against the uniform distribution over
+/// `population` equally-likely peers. Samples with address >= population
+/// are rejected (throws): callers must map addresses into [0, population).
+UniformityReport assess_uniformity(std::span<const NodeId> samples,
+                                   std::size_t population);
+
+/// Upper-tail probability of a chi-square variate with `df` degrees of
+/// freedom exceeding `x`, via the Wilson-Hilferty cube-root normal
+/// approximation (accurate to ~1e-3 for df >= 3, fine for df in the
+/// hundreds as used here).
+double chi_square_upper_tail(double x, std::size_t df);
+
+}  // namespace pss

@@ -1,0 +1,58 @@
+#include "pss/service/peer_sampling_service.hpp"
+
+namespace pss {
+
+PeerSamplingService::PeerSamplingService(GossipNode& node, Rng rng,
+                                         GetPeerStrategy strategy)
+    : node_(&node), rng_(rng), strategy_(strategy) {}
+
+void PeerSamplingService::init(std::span<const NodeId> contacts) {
+  if (initialized_) return;
+  std::vector<NodeDescriptor> entries;
+  entries.reserve(contacts.size());
+  for (NodeId contact : contacts) entries.push_back({contact, 0});
+  node_->init_view(View(std::move(entries)));
+  initialized_ = true;
+}
+
+NodeId PeerSamplingService::pop_from_queue() {
+  const View& view = node_->view();
+  // Drop queued addresses that have since left the view; refill from a
+  // shuffled copy of the live view when drained.
+  while (true) {
+    if (queue_.empty()) {
+      queue_.reserve(view.size());
+      for (const auto& d : view.entries()) queue_.push_back(d.address);
+      rng_.shuffle(queue_);
+    }
+    const NodeId candidate = queue_.back();
+    queue_.pop_back();
+    if (view.contains(candidate)) return candidate;
+    if (queue_.empty() && view.empty()) return kInvalidNode;
+  }
+}
+
+NodeId PeerSamplingService::get_peer() {
+  const View& view = node_->view();
+  if (view.empty()) return kInvalidNode;
+  switch (strategy_) {
+    case GetPeerStrategy::kUniformFromView:
+      return view.peer_rand(rng_);
+    case GetPeerStrategy::kShuffledQueue:
+      return pop_from_queue();
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> PeerSamplingService::get_peers(std::size_t k) {
+  std::vector<NodeId> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId peer = get_peer();
+    if (peer == kInvalidNode) break;
+    out.push_back(peer);
+  }
+  return out;
+}
+
+}  // namespace pss

@@ -1,0 +1,62 @@
+#include "pss/service/sampling_quality.hpp"
+
+#include <cmath>
+
+#include "pss/common/check.hpp"
+
+namespace pss {
+
+double chi_square_upper_tail(double x, std::size_t df) {
+  PSS_CHECK_MSG(df > 0, "degrees of freedom must be positive");
+  if (x <= 0) return 1.0;
+  // Wilson-Hilferty: (X/df)^(1/3) ~ Normal(1 - 2/(9 df), 2/(9 df)).
+  const double n = static_cast<double>(df);
+  const double t = std::cbrt(x / n);
+  const double mu = 1.0 - 2.0 / (9.0 * n);
+  const double sigma = std::sqrt(2.0 / (9.0 * n));
+  const double z = (t - mu) / sigma;
+  // Upper tail of the standard normal via erfc.
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+UniformityReport assess_uniformity(std::span<const NodeId> samples,
+                                   std::size_t population) {
+  PSS_CHECK_MSG(population >= 2, "population must have at least two peers");
+  PSS_CHECK_MSG(!samples.empty(), "no samples to assess");
+  UniformityReport report;
+  report.draws = samples.size();
+  report.population = population;
+
+  std::vector<std::size_t> hits(population, 0);
+  std::size_t repeats = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    PSS_CHECK_MSG(samples[i] < population,
+                  "sample outside the declared population");
+    ++hits[samples[i]];
+    if (i > 0 && samples[i] == samples[i - 1]) ++repeats;
+  }
+
+  const double expected =
+      static_cast<double>(report.draws) / static_cast<double>(population);
+  double chi = 0, sum = 0, sum_sq = 0;
+  for (std::size_t h : hits) {
+    if (h > 0) ++report.distinct;
+    const double diff = static_cast<double>(h) - expected;
+    chi += diff * diff / expected;
+    sum += static_cast<double>(h);
+    sum_sq += static_cast<double>(h) * static_cast<double>(h);
+  }
+  report.chi_square = chi;
+  report.p_value = chi_square_upper_tail(chi, population - 1);
+  const double mean = sum / static_cast<double>(population);
+  const double var = sum_sq / static_cast<double>(population) - mean * mean;
+  report.hit_cv = mean > 0 ? std::sqrt(var > 0 ? var : 0) / mean : 0;
+  report.repeat_rate = samples.size() > 1
+                           ? static_cast<double>(repeats) /
+                                 static_cast<double>(samples.size() - 1)
+                           : 0;
+  report.expected_repeat_rate = 1.0 / static_cast<double>(population);
+  return report;
+}
+
+}  // namespace pss

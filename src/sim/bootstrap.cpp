@@ -1,0 +1,77 @@
+#include "pss/sim/bootstrap.hpp"
+
+#include <vector>
+
+#include "pss/common/check.hpp"
+#include "pss/membership/view.hpp"
+
+namespace pss::sim::bootstrap {
+
+void init_random(Network& network) {
+  const auto live = network.live_nodes();
+  const std::size_t n = live.size();
+  PSS_CHECK_MSG(n >= 2, "random bootstrap needs at least two nodes");
+  const std::size_t c = network.options().view_size;
+  Rng& rng = network.rng();
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id = live[i];
+    const std::size_t want = std::min(c, n - 1);
+    // Sample positions in [0, n-1) and shift those at or past `i` by one so
+    // the node itself is never drawn.
+    auto picks = rng.sample_indices(n - 1, want);
+    std::vector<NodeDescriptor> entries;
+    entries.reserve(want);
+    for (std::size_t p : picks) entries.push_back({live[p < i ? p : p + 1], 0});
+    network.node(id).set_view(View(std::move(entries)));
+  }
+}
+
+void init_lattice(Network& network) {
+  const auto live = network.live_nodes();
+  const std::size_t n = live.size();
+  PSS_CHECK_MSG(n >= 2, "lattice bootstrap needs at least two nodes");
+  const std::size_t c = std::min(network.options().view_size, n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<NodeDescriptor> entries;
+    entries.reserve(c);
+    // Nearest neighbours by ring distance: +1, -1, +2, -2, ...
+    for (std::size_t dist = 1; entries.size() < c; ++dist) {
+      entries.push_back({live[(i + dist) % n], 0});
+      if (entries.size() >= c) break;
+      entries.push_back({live[(i + n - dist % n) % n], 0});
+    }
+    network.node(live[i]).set_view(View(std::move(entries)));
+  }
+}
+
+void init_star(Network& network) {
+  const auto live = network.live_nodes();
+  const std::size_t n = live.size();
+  PSS_CHECK_MSG(n >= 2, "star bootstrap needs at least two nodes");
+  const std::size_t c = network.options().view_size;
+  const NodeId hub = live.front();
+  std::vector<NodeDescriptor> hub_view;
+  for (std::size_t i = 1; i < n && hub_view.size() < c; ++i)
+    hub_view.push_back({live[i], 0});
+  network.node(hub).set_view(View(std::move(hub_view)));
+  for (std::size_t i = 1; i < n; ++i)
+    network.node(live[i]).set_view(View{{hub, 0}});
+}
+
+Network make_random(ProtocolSpec spec, ProtocolOptions options, std::size_t n,
+                    std::uint64_t seed) {
+  Network network(spec, options, seed);
+  network.add_nodes(n);
+  init_random(network);
+  return network;
+}
+
+Network make_lattice(ProtocolSpec spec, ProtocolOptions options, std::size_t n,
+                     std::uint64_t seed) {
+  Network network(spec, options, seed);
+  network.add_nodes(n);
+  init_lattice(network);
+  return network;
+}
+
+}  // namespace pss::sim::bootstrap

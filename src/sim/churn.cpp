@@ -1,0 +1,35 @@
+#include "pss/sim/churn.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "pss/membership/view.hpp"
+
+namespace pss::sim {
+
+void ChurnModel::apply(Network& network) {
+  const std::size_t floor = config_.contacts_per_join + 1;
+  std::size_t kills = config_.leaves_per_cycle;
+  if (network.live_count() > floor) {
+    kills = std::min(kills, network.live_count() - floor);
+  } else {
+    kills = 0;
+  }
+  if (kills > 0) {
+    network.kill_random(kills, rng_);
+    stats_.left += kills;
+  }
+  for (std::size_t j = 0; j < config_.joins_per_cycle; ++j) {
+    auto live = network.live_nodes();
+    const std::size_t contacts = std::min(config_.contacts_per_join, live.size());
+    auto picks = rng_.sample_indices(live.size(), contacts);
+    std::vector<NodeDescriptor> entries;
+    entries.reserve(contacts);
+    for (std::size_t p : picks) entries.push_back({live[p], 0});
+    const NodeId newcomer = network.add_node();
+    network.node(newcomer).init_view(View(std::move(entries)));
+    ++stats_.joined;
+  }
+}
+
+}  // namespace pss::sim

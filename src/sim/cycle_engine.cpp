@@ -1,0 +1,50 @@
+#include "pss/sim/cycle_engine.hpp"
+
+namespace pss::sim {
+
+void CycleEngine::run_cycle() {
+  auto order = network_->live_nodes();
+  network_->rng().shuffle(order);
+  for (NodeId initiator : order) {
+    // A node killed mid-cycle (only possible via external injection between
+    // cycles in the current API, but cheap to guard) is skipped.
+    if (!network_->is_live(initiator)) continue;
+    initiate_exchange(initiator);
+  }
+  ++cycle_;
+}
+
+void CycleEngine::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) run_cycle();
+}
+
+void CycleEngine::initiate_exchange(NodeId initiator) {
+  GossipNode& active = network_->node(initiator);
+  // Once-per-cycle aging (timestamp semantics; see gossip_node.hpp).
+  active.age_view();
+  auto peer = active.select_peer();
+  if (!peer) {
+    ++stats_.empty_views;
+    return;
+  }
+  active.note_initiated();
+  if (!network_->is_live(*peer) ||
+      !network_->can_communicate(initiator, *peer)) {
+    // Dead peer or a network partition between the two: the exchange is
+    // silently lost either way.
+    active.on_contact_failure(*peer);
+    ++stats_.failed_contacts;
+    return;
+  }
+  GossipNode& passive = network_->node(*peer);
+  const View buffer = active.make_active_buffer();
+  auto reply = passive.handle_message(buffer);
+  if (active.spec().pull()) {
+    // The reply exists whenever the protocol pulls; both sides run the same
+    // spec, so this is an internal invariant rather than a runtime branch.
+    active.handle_reply(*reply);
+  }
+  ++stats_.exchanges;
+}
+
+}  // namespace pss::sim

@@ -1,0 +1,143 @@
+#include "pss/sim/hs_overlay.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+
+namespace pss::sim {
+
+HSOverlay::HSOverlay(std::size_t n, HSParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  PSS_CHECK_MSG(n >= 2, "overlay needs at least two nodes");
+  nodes_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    nodes_.emplace_back(id, params_, rng_.split());
+  }
+  live_.assign(n, 1);
+  live_count_ = n;
+  // Uniform random bootstrap, as in the random-init scenario.
+  const std::size_t want = std::min(params_.view_size, n - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    auto picks = rng_.sample_indices(n - 1, want);
+    std::vector<NodeDescriptor> entries;
+    entries.reserve(want);
+    for (std::size_t p : picks) {
+      entries.push_back({static_cast<NodeId>(p < id ? p : p + 1), 0});
+    }
+    nodes_[id].init_view(std::move(entries));
+  }
+}
+
+void HSOverlay::kill(NodeId id) {
+  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  if (live_[id]) {
+    live_[id] = 0;
+    --live_count_;
+  }
+}
+
+void HSOverlay::kill_random(std::size_t count) {
+  std::vector<NodeId> live;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (live_[id]) live.push_back(id);
+  }
+  PSS_CHECK_MSG(count <= live.size(), "cannot kill more nodes than are live");
+  for (std::size_t p : rng_.sample_indices(live.size(), count)) kill(live[p]);
+}
+
+void HSOverlay::run_cycle() {
+  std::vector<NodeId> order;
+  order.reserve(live_count_);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (live_[id]) order.push_back(id);
+  }
+  rng_.shuffle(order);
+  for (NodeId initiator : order) {
+    HSGossipNode& active = nodes_[initiator];
+    active.increase_age();
+    auto peer = active.select_peer();
+    if (!peer) continue;
+    if (!is_live(*peer)) continue;  // silent failure, paper semantics
+    HSGossipNode& passive = nodes_[*peer];
+    const auto sent = active.make_buffer();
+    if (params_.pushpull) {
+      const auto reply = passive.make_buffer();
+      passive.integrate(sent);
+      active.integrate(reply);
+    } else {
+      passive.integrate(sent);
+    }
+  }
+  ++cycle_;
+}
+
+void HSOverlay::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) run_cycle();
+}
+
+std::uint64_t HSOverlay::count_dead_links() const {
+  std::uint64_t dead = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live_[id]) continue;
+    for (const auto& d : nodes_[id].entries()) {
+      if (!live_[d.address]) ++dead;
+    }
+  }
+  return dead;
+}
+
+std::vector<std::size_t> HSOverlay::degrees() const {
+  // Undirected: count each live-live edge once per endpoint.
+  std::vector<std::vector<std::uint32_t>> adj(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live_[id]) continue;
+    for (const auto& d : nodes_[id].entries()) {
+      if (!live_[d.address]) continue;
+      adj[id].push_back(d.address);
+      adj[d.address].push_back(id);
+    }
+  }
+  std::vector<std::size_t> out;
+  out.reserve(live_count_);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live_[id]) continue;
+    auto& nb = adj[id];
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    out.push_back(nb.size());
+  }
+  return out;
+}
+
+bool HSOverlay::connected() const {
+  std::vector<std::vector<std::uint32_t>> adj(nodes_.size());
+  NodeId start = kInvalidNode;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live_[id]) continue;
+    if (start == kInvalidNode) start = id;
+    for (const auto& d : nodes_[id].entries()) {
+      if (!live_[d.address]) continue;
+      adj[id].push_back(d.address);
+      adj[d.address].push_back(id);
+    }
+  }
+  if (start == kInvalidNode) return true;
+  std::vector<std::uint8_t> seen(nodes_.size(), 0);
+  std::vector<NodeId> stack{start};
+  seen[start] = 1;
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (std::uint32_t w : adj[u]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == live_count_;
+}
+
+}  // namespace pss::sim

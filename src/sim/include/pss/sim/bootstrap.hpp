@@ -1,0 +1,41 @@
+// Bootstrap topologies (paper Section 5).
+//
+// Three initial conditions are studied:
+//   - random:  every view holds c uniform random distinct peers (Section 5.3);
+//   - lattice: ring lattice — each node knows its nearest ring neighbours,
+//              filled to c by increasing ring distance (Section 5.2);
+//   - growing: the network starts as a single node and grows by 100 nodes
+//              per cycle, each newcomer knowing only the initial node
+//              (Section 5.1). The growing scenario needs interleaving with
+//              the engine, so it lives in experiments::GrowingScenario; this
+//              header provides the static initializers.
+#pragma once
+
+#include <cstdint>
+
+#include "pss/protocol/spec.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::sim::bootstrap {
+
+/// Fills every live node's view with min(c, N-1) distinct uniform random
+/// other live nodes, hop count 0.
+void init_random(Network& network);
+
+/// Ring lattice: nodes are arranged in a ring by address; each view holds
+/// the min(c, N-1) nearest ring neighbours (distance 1 on both sides, then
+/// distance 2, ...), hop count 0.
+void init_lattice(Network& network);
+
+/// Star: every node's view holds only the hub (node 0); the hub's view holds
+/// the first min(c, N-1) other nodes. Used to test degenerate topologies
+/// (the (*,*,pull) star attractor) and bootstrap robustness.
+void init_star(Network& network);
+
+/// Convenience factories: build an N-node network and apply the initializer.
+Network make_random(ProtocolSpec spec, ProtocolOptions options, std::size_t n,
+                    std::uint64_t seed);
+Network make_lattice(ProtocolSpec spec, ProtocolOptions options, std::size_t n,
+                     std::uint64_t seed);
+
+}  // namespace pss::sim::bootstrap

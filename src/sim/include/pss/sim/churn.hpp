@@ -1,0 +1,49 @@
+// Continuous churn injection (node joins and leaves between cycles).
+//
+// The paper studies one catastrophic failure (Section 7); real deployments
+// see continuous membership turnover. ChurnModel is the extension used by
+// the churn_monitor example and churn tests: per cycle it removes a batch
+// of random live nodes and adds a batch of newcomers, each bootstrapped
+// from a configurable number of random live contacts.
+#pragma once
+
+#include <cstddef>
+
+#include "pss/common/rng.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::sim {
+
+struct ChurnConfig {
+  /// Live nodes killed per cycle.
+  std::size_t leaves_per_cycle = 0;
+  /// Nodes added per cycle.
+  std::size_t joins_per_cycle = 0;
+  /// Bootstrap contacts given to each newcomer (drawn uniformly from the
+  /// live population, mimicking a rendezvous service handing out addresses).
+  std::size_t contacts_per_join = 1;
+};
+
+/// Aggregate counters across all apply() calls.
+struct ChurnStats {
+  std::size_t joined = 0;
+  std::size_t left = 0;
+};
+
+class ChurnModel {
+ public:
+  ChurnModel(ChurnConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+  /// Applies one cycle of churn: kills then joins. Never kills below
+  /// `contacts_per_join + 1` live nodes so newcomers can always bootstrap.
+  void apply(Network& network);
+
+  const ChurnStats& stats() const { return stats_; }
+
+ private:
+  ChurnConfig config_;
+  Rng rng_;
+  ChurnStats stats_;
+};
+
+}  // namespace pss::sim

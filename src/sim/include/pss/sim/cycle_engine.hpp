@@ -1,0 +1,54 @@
+// Cycle-driven execution engine — the paper's simulation model.
+//
+// In each cycle every live node initiates exactly one exchange (its active
+// thread fires once per T time units; the cycle abstracts T). Nodes act in
+// a fresh uniform random order each cycle, and an exchange completes
+// atomically: the active buffer is delivered, the passive side replies
+// within the same step. This matches the simulator used in the paper (and
+// the later PeerSim "cycle-based" mode). The EventEngine lifts the
+// atomicity assumption; see event_engine.hpp.
+//
+// Contacting a dead node is a silent failure: no view changes on either
+// side (unless the remove_dead_on_failure extension is enabled), which is
+// what makes dead-link decay purely a property of view selection, as the
+// paper's Section 7 analysis requires.
+#pragma once
+
+#include <cstdint>
+
+#include "pss/common/types.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::sim {
+
+/// Aggregate counters over the whole run.
+struct EngineStats {
+  std::uint64_t exchanges = 0;        ///< completed active-passive exchanges
+  std::uint64_t failed_contacts = 0;  ///< attempts that hit a dead node
+  std::uint64_t empty_views = 0;      ///< nodes that had nobody to contact
+};
+
+class CycleEngine {
+ public:
+  explicit CycleEngine(Network& network) : network_(&network) {}
+
+  /// Runs one cycle: permutes live nodes, fires each active thread once.
+  void run_cycle();
+
+  /// Runs `cycles` consecutive cycles.
+  void run(Cycle cycles);
+
+  /// Number of cycles executed so far.
+  Cycle cycle() const { return cycle_; }
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  void initiate_exchange(NodeId initiator);
+
+  Network* network_;
+  Cycle cycle_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace pss::sim

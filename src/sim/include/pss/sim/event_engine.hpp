@@ -1,0 +1,110 @@
+// Asynchronous event-driven execution engine (extension).
+//
+// The paper's results come from a cycle-based simulator in which an
+// exchange is atomic. Real deployments interleave messages with latency,
+// losses and timeouts. EventEngine runs the *same* GossipNode logic over an
+// explicit discrete-event message layer:
+//   - each node's active thread fires every `period` time units, with a
+//     uniform random initial phase (as in the skeleton's wait(T));
+//   - every message (request or reply) experiences an independent uniform
+//     latency in [min_latency, max_latency] and is dropped with probability
+//     drop_probability;
+//   - a pulling node keeps a single outstanding exchange; a reply that
+//     arrives after reply_timeout (or after a newer exchange started) is
+//     discarded; timeouts surface as contact failures.
+//
+// Tests use this engine to show the paper's conclusions are not artifacts
+// of the atomic-exchange model (convergence to the same small-world state).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/membership/view.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::sim {
+
+struct EventEngineConfig {
+  double period = 1.0;            ///< T: time between active-thread firings
+  double min_latency = 0.01;      ///< per-message latency lower bound
+  double max_latency = 0.10;      ///< per-message latency upper bound
+  double drop_probability = 0.0;  ///< independent message loss probability
+  double reply_timeout = 0.5;     ///< pull reply validity window
+};
+
+struct EventEngineStats {
+  std::uint64_t wakeups = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_to_dead = 0;
+  std::uint64_t replies_delivered = 0;
+  std::uint64_t replies_stale = 0;  ///< late or superseded pull replies
+};
+
+class EventEngine {
+ public:
+  EventEngine(Network& network, EventEngineConfig config);
+
+  /// Processes all events with timestamp <= until (exclusive of later ones).
+  void run_until(double until);
+
+  /// Convenience: advances by `cycles * period` time units.
+  void run_cycles(std::size_t cycles) {
+    run_until(now_ + static_cast<double>(cycles) * config_.period);
+  }
+
+  double now() const { return now_; }
+  const EventEngineStats& stats() const { return stats_; }
+
+ private:
+  enum class Kind { kWakeup, kRequest, kReply };
+
+  struct Event {
+    double at = 0;
+    std::uint64_t seq = 0;  ///< tie-break for determinism
+    Kind kind = Kind::kWakeup;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    std::uint64_t exchange_id = 0;  ///< matches replies to requests
+    View payload;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Per-node pull bookkeeping: which exchange is outstanding, with whom,
+  /// and until when the reply is acceptable.
+  struct Pending {
+    std::uint64_t exchange_id = 0;
+    NodeId peer = kInvalidNode;
+    double deadline = -1.0;
+    bool active = false;
+  };
+
+  void schedule(Event e);
+  void send(Kind kind, NodeId from, NodeId to, std::uint64_t exchange_id,
+            View payload);
+  void on_wakeup(NodeId node);
+  void on_request(const Event& e);
+  void on_reply(const Event& e);
+  void expire_pending(NodeId node);
+
+  Network* network_;
+  EventEngineConfig config_;
+  EventEngineStats stats_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_exchange_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Pending> pending_;
+  std::size_t scheduled_nodes_ = 0;  ///< nodes whose wake-up loop is running
+};
+
+}  // namespace pss::sim

@@ -1,0 +1,54 @@
+// Cycle-driven simulation of the generalized (H, S) protocol family
+// (see hs_node.hpp). Mirrors Network + CycleEngine for HSGossipNode:
+// one exchange initiation per live node per cycle in random order, atomic
+// pushpull (or push-only) exchanges, silent failure on dead contacts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/protocol/hs_node.hpp"
+
+namespace pss::sim {
+
+class HSOverlay {
+ public:
+  /// n nodes, each bootstrapped with min(c, n-1) uniform random peers.
+  HSOverlay(std::size_t n, HSParams params, std::uint64_t seed);
+
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t live_count() const { return live_count_; }
+  const HSParams& params() const { return params_; }
+
+  HSGossipNode& node(NodeId id) { return nodes_[id]; }
+  const HSGossipNode& node(NodeId id) const { return nodes_[id]; }
+  bool is_live(NodeId id) const { return live_[id] != 0; }
+
+  void kill(NodeId id);
+  void kill_random(std::size_t count);
+
+  /// One cycle: every live node ages its view, selects a peer, exchanges.
+  void run_cycle();
+  void run(Cycle cycles);
+  Cycle cycle() const { return cycle_; }
+
+  /// Dead links across live views (Figure-7 style accounting).
+  std::uint64_t count_dead_links() const;
+
+  /// Undirected degrees of the live overlay (view entries to live nodes).
+  std::vector<std::size_t> degrees() const;
+
+  /// True when the undirected live overlay is connected.
+  bool connected() const;
+
+ private:
+  HSParams params_;
+  Rng rng_;
+  std::vector<HSGossipNode> nodes_;
+  std::vector<std::uint8_t> live_;
+  std::size_t live_count_ = 0;
+  Cycle cycle_ = 0;
+};
+
+}  // namespace pss::sim

@@ -1,0 +1,101 @@
+// Simulated network: the registry of gossip nodes with liveness state.
+//
+// Addresses are dense ids assigned in creation order; a killed node keeps
+// its slot (so descriptors pointing to it become dead links, exactly the
+// failure model of the paper's Section 7) and can optionally be revived.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/protocol/gossip_node.hpp"
+#include "pss/protocol/spec.hpp"
+
+namespace pss::sim {
+
+class Network {
+ public:
+  /// All nodes run `spec` with `options`; `seed` drives every random choice
+  /// of the whole simulation (node RNGs are split off deterministically).
+  Network(ProtocolSpec spec, ProtocolOptions options, std::uint64_t seed);
+
+  const ProtocolSpec& spec() const { return spec_; }
+  const ProtocolOptions& options() const { return options_; }
+
+  /// Creates a live node with an empty view; returns its address.
+  NodeId add_node();
+
+  /// Creates `n` nodes; returns the address of the first one.
+  NodeId add_nodes(std::size_t n);
+
+  /// Total slots ever created (live + dead).
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Number of currently live nodes.
+  std::size_t live_count() const { return live_count_; }
+
+  GossipNode& node(NodeId id);
+  const GossipNode& node(NodeId id) const;
+
+  bool is_live(NodeId id) const;
+
+  /// Marks a node dead. Its descriptors elsewhere become dead links; its own
+  /// view is kept (irrelevant while dead, realistic if revived).
+  void kill(NodeId id);
+
+  /// Brings a dead node back with an empty view (a rejoin must re-bootstrap).
+  void revive(NodeId id);
+
+  /// Kills a uniform random sample of `count` live nodes.
+  void kill_random(std::size_t count, Rng& rng);
+
+  /// Addresses of all live nodes, ascending.
+  std::vector<NodeId> live_nodes() const;
+
+  /// Total descriptors across live nodes' views that point at dead nodes
+  /// (the paper's "overall dead links" metric, Figure 7).
+  std::uint64_t count_dead_links() const;
+
+  /// Master RNG of the simulation (engines use it for cycle permutations).
+  Rng& rng() { return rng_; }
+
+  // --- Temporary network partitions (paper Section 8 discussion) ----------
+  // Nodes carry a partition group id (default 0 = everyone together).
+  // Engines treat a contact between different groups like a contact to a
+  // dead node: the message is lost, views do not change. This models a
+  // network-level split with all nodes still running.
+
+  /// Assigns a node to a partition group.
+  void set_partition_group(NodeId id, std::uint32_t group);
+
+  /// Puts every node back into group 0 (heals the split).
+  void clear_partitions();
+
+  /// Group of a node (0 when partitions are unused).
+  std::uint32_t partition_group(NodeId id) const;
+
+  /// True when a and b can exchange messages (same group, both in range).
+  bool can_communicate(NodeId a, NodeId b) const;
+
+  /// True when any node is outside group 0.
+  bool partitioned() const { return partitioned_; }
+
+  /// Number of view entries of live group-`from` nodes that point at live
+  /// nodes of a DIFFERENT group — the "memory" each side retains of the
+  /// other during a split (the quantity the Section 8 discussion is about).
+  std::uint64_t count_cross_partition_links() const;
+
+ private:
+  ProtocolSpec spec_;
+  ProtocolOptions options_;
+  Rng rng_;
+  std::vector<GossipNode> nodes_;
+  std::vector<std::uint8_t> live_;
+  std::vector<std::uint32_t> group_;
+  std::size_t live_count_ = 0;
+  bool partitioned_ = false;
+};
+
+}  // namespace pss::sim

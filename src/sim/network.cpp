@@ -1,0 +1,124 @@
+#include "pss/sim/network.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+
+namespace pss::sim {
+
+Network::Network(ProtocolSpec spec, ProtocolOptions options, std::uint64_t seed)
+    : spec_(spec), options_(options), rng_(seed) {}
+
+NodeId Network::add_node() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back(id, spec_, options_, rng_.split());
+  live_.push_back(1);
+  group_.push_back(0);
+  ++live_count_;
+  return id;
+}
+
+NodeId Network::add_nodes(std::size_t n) {
+  PSS_CHECK(n > 0);
+  const NodeId first = static_cast<NodeId>(nodes_.size());
+  for (std::size_t i = 0; i < n; ++i) add_node();
+  return first;
+}
+
+GossipNode& Network::node(NodeId id) {
+  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const GossipNode& Network::node(NodeId id) const {
+  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+bool Network::is_live(NodeId id) const {
+  return id < live_.size() && live_[id] != 0;
+}
+
+void Network::kill(NodeId id) {
+  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  if (live_[id]) {
+    live_[id] = 0;
+    --live_count_;
+  }
+}
+
+void Network::revive(NodeId id) {
+  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  if (!live_[id]) {
+    live_[id] = 1;
+    ++live_count_;
+    nodes_[id].set_view(View{});
+  }
+}
+
+void Network::kill_random(std::size_t count, Rng& rng) {
+  auto live = live_nodes();
+  PSS_CHECK_MSG(count <= live.size(), "cannot kill more nodes than are live");
+  auto picks = rng.sample_indices(live.size(), count);
+  for (std::size_t i : picks) kill(live[i]);
+}
+
+std::vector<NodeId> Network::live_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(live_count_);
+  for (NodeId id = 0; id < live_.size(); ++id) {
+    if (live_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+void Network::set_partition_group(NodeId id, std::uint32_t group) {
+  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  group_[id] = group;
+  partitioned_ = false;
+  for (std::uint32_t g : group_) {
+    if (g != 0) {
+      partitioned_ = true;
+      break;
+    }
+  }
+}
+
+void Network::clear_partitions() {
+  std::fill(group_.begin(), group_.end(), 0u);
+  partitioned_ = false;
+}
+
+std::uint32_t Network::partition_group(NodeId id) const {
+  PSS_CHECK_MSG(id < group_.size(), "node id out of range");
+  return group_[id];
+}
+
+bool Network::can_communicate(NodeId a, NodeId b) const {
+  if (a >= group_.size() || b >= group_.size()) return false;
+  return group_[a] == group_[b];
+}
+
+std::uint64_t Network::count_cross_partition_links() const {
+  std::uint64_t cross = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live_[id]) continue;
+    for (const auto& d : nodes_[id].view().entries()) {
+      if (is_live(d.address) && group_[d.address] != group_[id]) ++cross;
+    }
+  }
+  return cross;
+}
+
+std::uint64_t Network::count_dead_links() const {
+  std::uint64_t dead = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!live_[id]) continue;
+    for (const auto& d : nodes_[id].view().entries()) {
+      if (!is_live(d.address)) ++dead;
+    }
+  }
+  return dead;
+}
+
+}  // namespace pss::sim

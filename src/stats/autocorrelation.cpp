@@ -1,0 +1,47 @@
+#include "pss/stats/autocorrelation.hpp"
+
+#include <cmath>
+
+#include "pss/common/check.hpp"
+#include "pss/stats/descriptive.hpp"
+
+namespace pss::stats {
+
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag) {
+  const std::size_t k_count = series.size();
+  PSS_CHECK_MSG(k_count >= 2, "autocorrelation needs at least two samples");
+  PSS_CHECK_MSG(max_lag < k_count, "max_lag must be below the series length");
+  const double avg = mean(series);
+  double denom = 0;
+  for (double x : series) denom += (x - avg) * (x - avg);
+  std::vector<double> r(max_lag + 1, 0.0);
+  r[0] = 1.0;
+  if (denom == 0) return r;  // constant series
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double num = 0;
+    for (std::size_t j = 0; j + lag < k_count; ++j)
+      num += (series[j] - avg) * (series[j + lag] - avg);
+    r[lag] = num / denom;
+  }
+  return r;
+}
+
+double autocorrelation_confidence99(std::size_t sample_size) {
+  PSS_CHECK_MSG(sample_size > 0, "sample size must be positive");
+  return 2.5758293035489004 / std::sqrt(static_cast<double>(sample_size));
+}
+
+double autocorrelation_excess_fraction(std::span<const double> series,
+                                       std::size_t max_lag) {
+  const auto r = autocorrelation(series, max_lag);
+  const double band = autocorrelation_confidence99(series.size());
+  std::size_t excess = 0;
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    if (std::abs(r[lag]) > band) ++excess;
+  }
+  return max_lag == 0 ? 0.0
+                      : static_cast<double>(excess) / static_cast<double>(max_lag);
+}
+
+}  // namespace pss::stats

@@ -1,0 +1,70 @@
+#include "pss/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pss::stats {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance_population() const {
+  if (n_ < 1) return 0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::variance_sample() const {
+  if (n_ < 2) return 0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev_population() const {
+  return std::sqrt(variance_population());
+}
+
+double Accumulator::stddev_sample() const {
+  return std::sqrt(variance_sample());
+}
+
+double mean(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.mean();
+}
+
+double variance_population(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.variance_population();
+}
+
+double variance_sample(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.variance_sample();
+}
+
+Summary summarize(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  Summary s;
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.variance_sample = acc.variance_sample();
+  s.stddev_sample = acc.stddev_sample();
+  s.min = acc.min();
+  s.max = acc.max();
+  return s;
+}
+
+}  // namespace pss::stats

@@ -1,0 +1,98 @@
+#include "pss/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+
+#include "pss/common/check.hpp"
+
+namespace pss::stats {
+
+Histogram::Histogram(std::span<const std::size_t> samples) {
+  for (std::size_t s : samples) add(s);
+}
+
+void Histogram::add(std::size_t value, std::size_t count) {
+  if (count == 0) return;
+  counts_[value] += count;
+  total_ += count;
+}
+
+std::size_t Histogram::count(std::size_t value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::size_t Histogram::min_value() const {
+  PSS_CHECK_MSG(!counts_.empty(), "min_value() on empty histogram");
+  return counts_.begin()->first;
+}
+
+std::size_t Histogram::max_value() const {
+  PSS_CHECK_MSG(!counts_.empty(), "max_value() on empty histogram");
+  return counts_.rbegin()->first;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0;
+  double sum = 0;
+  for (const auto& [value, count] : counts_)
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  return sum / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Histogram::points() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Histogram::log_binned(
+    double factor) const {
+  PSS_CHECK_MSG(factor > 1.0, "log binning factor must exceed 1");
+  std::vector<std::pair<std::size_t, std::size_t>> bins;
+  if (counts_.empty()) return bins;
+  const std::size_t lo = min_value();
+  std::size_t bound = std::max<std::size_t>(lo, 1);
+  // Generate bucket lower bounds lo = b0 < b1 < ... covering max_value().
+  std::vector<std::size_t> bounds{bound};
+  while (bound <= max_value()) {
+    auto next = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(bound) * factor));
+    if (next <= bound) next = bound + 1;
+    bounds.push_back(next);
+    bound = next;
+  }
+  bins.reserve(bounds.size() - 1);
+  for (std::size_t b = 0; b + 1 < bounds.size(); ++b)
+    bins.emplace_back(bounds[b], 0);
+  for (const auto& [value, count] : counts_) {
+    // Find the bucket whose [lower, next_lower) range holds `value`.
+    auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+    PSS_CHECK(it != bounds.begin());
+    const auto idx = static_cast<std::size_t>(it - bounds.begin()) - 1;
+    if (idx < bins.size()) bins[idx].second += count;
+  }
+  // Drop empty trailing buckets for compact output (keep interior zeros).
+  while (!bins.empty() && bins.back().second == 0) bins.pop_back();
+  return bins;
+}
+
+void Histogram::print_loglog(std::ostream& os, const std::string& title,
+                             double factor) const {
+  os << title << " (n=" << total_ << ")\n";
+  if (counts_.empty()) {
+    os << "  <empty>\n";
+    return;
+  }
+  for (const auto& [lower, count] : log_binned(factor)) {
+    os << "  " << std::setw(8) << lower << " | ";
+    if (count > 0) {
+      const int bar =
+          1 + static_cast<int>(std::round(8.0 * std::log10(static_cast<double>(count))));
+      for (int i = 0; i < bar; ++i) os << '#';
+      os << ' ' << count;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace pss::stats

@@ -1,0 +1,29 @@
+// Sample autocorrelation of a time series (paper Figure 5).
+//
+// For the degree series d(1..K) of a fixed node, the paper plots
+//   r_k = Σ_{j=1..K-k} (d(j) − d̄)(d(j+k) − d̄) / Σ_{j=1..K} (d(j) − d̄)²
+// together with the 99% confidence band ±2.576/√K under the null
+// hypothesis that the series is white noise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pss::stats {
+
+/// r_k for k = 0..max_lag (r_0 == 1 for any non-constant series).
+/// A constant series has zero denominator; by convention all r_k = 0 then
+/// except r_0 = 1.
+std::vector<double> autocorrelation(std::span<const double> series,
+                                    std::size_t max_lag);
+
+/// Half-width of the 99% white-noise confidence band: 2.576/√K.
+double autocorrelation_confidence99(std::size_t sample_size);
+
+/// Fraction of lags 1..max_lag whose |r_k| exceeds the 99% band — a simple
+/// whiteness score (≈0.01 for white noise, large for periodic series).
+double autocorrelation_excess_fraction(std::span<const double> series,
+                                       std::size_t max_lag);
+
+}  // namespace pss::stats

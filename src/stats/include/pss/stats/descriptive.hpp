@@ -1,0 +1,57 @@
+// Descriptive statistics used by the experiment harness (Table 2 of the
+// paper uses means, empirical variances and standard deviations of degree
+// time series).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pss::stats {
+
+/// Streaming mean/variance accumulator (Welford's algorithm: numerically
+/// stable for long series).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Population variance (divide by n); 0 when n < 1.
+  double variance_population() const;
+
+  /// Sample variance (divide by n-1, as the paper's σ with 49 = 50-1);
+  /// 0 when n < 2.
+  double variance_sample() const;
+
+  double stddev_population() const;
+  double stddev_sample() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+double mean(std::span<const double> xs);
+double variance_population(std::span<const double> xs);
+double variance_sample(std::span<const double> xs);
+
+/// One-shot summary of a series.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double variance_sample = 0;
+  double stddev_sample = 0;
+  double min = 0;
+  double max = 0;
+};
+Summary summarize(std::span<const double> xs);
+
+}  // namespace pss::stats

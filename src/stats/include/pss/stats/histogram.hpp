@@ -1,0 +1,52 @@
+// Integer-valued histogram with log-log rendering support (paper Figure 4
+// shows degree distributions on a log-log scale).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pss::stats {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds from raw integer samples.
+  explicit Histogram(std::span<const std::size_t> samples);
+
+  void add(std::size_t value, std::size_t count = 1);
+
+  std::size_t total() const { return total_; }
+  bool empty() const { return counts_.empty(); }
+
+  /// Count of samples with exactly this value.
+  std::size_t count(std::size_t value) const;
+
+  std::size_t min_value() const;
+  std::size_t max_value() const;
+
+  double mean() const;
+
+  /// (value, count) pairs in ascending value order.
+  std::vector<std::pair<std::size_t, std::size_t>> points() const;
+
+  /// Re-bins into geometrically growing buckets (factor > 1), returning
+  /// (bucket_lower_bound, count) pairs; preserves total mass. Useful for
+  /// rendering heavy-tailed distributions compactly.
+  std::vector<std::pair<std::size_t, std::size_t>> log_binned(double factor) const;
+
+  /// Renders an ASCII frequency plot (one row per log-bin, bar length
+  /// proportional to log10(count)), mimicking the paper's log-log plots.
+  void print_loglog(std::ostream& os, const std::string& title,
+                    double factor = 1.25) const;
+
+ private:
+  std::map<std::size_t, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pss::stats

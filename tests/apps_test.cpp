@@ -1,0 +1,184 @@
+// Unit and behaviour tests for the gossip applications built on the peer
+// sampling service: epidemic broadcast and push-pull averaging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pss/apps/aggregation.hpp"
+#include "pss/apps/broadcast.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+namespace pss::apps {
+namespace {
+
+TEST(BroadcastIdeal, ReachesEveryoneInLogarithmicRounds) {
+  const std::size_t n = 1000;
+  const auto r = run_broadcast_ideal(n, {.fanout = 1, .max_rounds = 60},
+                                     /*origin=*/0, Rng(1));
+  ASSERT_TRUE(r.reached_all());
+  // Pittel's bound: ~log2(n) + ln(n) + O(1) ≈ 17 for n=1000.
+  EXPECT_LE(r.rounds_to_full, 30u);
+  EXPECT_GE(r.rounds_to_full, 10u);
+  // Coverage is monotone and ends exactly at n.
+  for (std::size_t i = 1; i < r.infected_per_round.size(); ++i)
+    EXPECT_GE(r.infected_per_round[i], r.infected_per_round[i - 1]);
+  EXPECT_EQ(r.infected_per_round.back(), n);
+}
+
+TEST(BroadcastIdeal, FanoutSpeedsUpDissemination) {
+  const std::size_t n = 2000;
+  const auto f1 = run_broadcast_ideal(n, {.fanout = 1, .max_rounds = 80}, 0, Rng(2));
+  const auto f3 = run_broadcast_ideal(n, {.fanout = 3, .max_rounds = 80}, 0, Rng(3));
+  ASSERT_TRUE(f1.reached_all());
+  ASSERT_TRUE(f3.reached_all());
+  EXPECT_LT(f3.rounds_to_full, f1.rounds_to_full);
+  EXPECT_GT(f3.messages, f1.messages / 2);  // fanout costs messages
+}
+
+TEST(BroadcastIdeal, EarlyGrowthIsNearlyExponential) {
+  const auto r = run_broadcast_ideal(100000, {.fanout = 1, .max_rounds = 12},
+                                     0, Rng(4));
+  // While coverage << n, each round roughly doubles the infected set.
+  for (std::size_t i = 1; i < 8; ++i) {
+    const double ratio = static_cast<double>(r.infected_per_round[i]) /
+                         static_cast<double>(r.infected_per_round[i - 1]);
+    EXPECT_GT(ratio, 1.5) << "round " << i;
+    EXPECT_LE(ratio, 2.0) << "round " << i;
+  }
+}
+
+TEST(BroadcastIdeal, ValidatesArguments) {
+  EXPECT_THROW(run_broadcast_ideal(1, {.fanout = 1, .max_rounds = 5}, 0, Rng(5)),
+               std::logic_error);
+  EXPECT_THROW(run_broadcast_ideal(10, {.fanout = 0, .max_rounds = 5}, 0, Rng(6)),
+               std::logic_error);
+  EXPECT_THROW(run_broadcast_ideal(10, {.fanout = 1, .max_rounds = 5}, 10, Rng(7)),
+               std::logic_error);
+}
+
+TEST(BroadcastOverGossip, MatchesIdealWithinSmallFactor) {
+  const std::size_t n = 1000;
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{20, false}, n, 8);
+  sim::CycleEngine engine(net);
+  engine.run(40);
+  const auto gossip = run_broadcast_over_gossip(
+      net, engine, {.fanout = 1, .max_rounds = 100}, 0, Rng(9));
+  const auto ideal =
+      run_broadcast_ideal(n, {.fanout = 1, .max_rounds = 100}, 0, Rng(10));
+  ASSERT_TRUE(gossip.reached_all());
+  ASSERT_TRUE(ideal.reached_all());
+  // The paper's point: gossip sampling is NOT uniform, but it is good
+  // enough that dissemination pays at most a small constant factor.
+  EXPECT_LE(gossip.rounds_to_full, ideal.rounds_to_full * 2);
+}
+
+TEST(BroadcastOverGossip, RequiresLiveOrigin) {
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{10, false}, 50, 11);
+  sim::CycleEngine engine(net);
+  net.kill(0);
+  EXPECT_THROW(run_broadcast_over_gossip(net, engine, {.fanout = 1}, 0, Rng(12)),
+               std::logic_error);
+}
+
+TEST(BroadcastOverGossip, SurvivesDeadLinks) {
+  // After a failure, messages to dead links are lost but the epidemic
+  // still covers all survivors.
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{20, false}, 600, 13);
+  sim::CycleEngine engine(net);
+  engine.run(40);
+  Rng kill_rng(14);
+  net.kill_random(200, kill_rng);
+  const auto origin = net.live_nodes().front();
+  const auto r = run_broadcast_over_gossip(
+      net, engine, {.fanout = 2, .max_rounds = 100}, origin, Rng(15));
+  EXPECT_TRUE(r.reached_all());
+}
+
+TEST(AggregationHelpers, RampAndPeak) {
+  const auto ramp = ramp_values(5);
+  EXPECT_EQ(ramp, (std::vector<double>{0, 1, 2, 3, 4}));
+  const auto peak = peak_values(4);
+  EXPECT_EQ(peak, (std::vector<double>{4, 0, 0, 0}));
+}
+
+TEST(AggregationIdeal, PreservesMeanAndContractsVariance) {
+  const std::size_t n = 500;
+  const auto r = run_averaging_ideal({.rounds = 30}, ramp_values(n), Rng(16));
+  EXPECT_NEAR(r.true_mean, (n - 1) / 2.0, 1e-9);
+  // Variance decays to (near) zero and is monotone non-increasing.
+  EXPECT_LT(r.variance_per_round.back(), 1e-3 * r.variance_per_round.front());
+  for (std::size_t i = 1; i < r.variance_per_round.size(); ++i)
+    EXPECT_LE(r.variance_per_round[i], r.variance_per_round[i - 1] + 1e-9);
+}
+
+TEST(AggregationIdeal, ContractionNearTheory) {
+  // Uniform-sampling pairwise averaging contracts variance by roughly
+  // 1/(2 sqrt(e)) ≈ 0.303 per round (Jelasity-Montresor-Babaoglu).
+  const auto r = run_averaging_ideal({.rounds = 25}, ramp_values(2000), Rng(17));
+  EXPECT_NEAR(r.mean_contraction(), 0.303, 0.06);
+}
+
+TEST(AggregationIdeal, RoundsToVarianceSemantics) {
+  AggregationResult r;
+  r.variance_per_round = {100, 10, 1, 0.1};
+  EXPECT_EQ(r.rounds_to_variance(10), 1u);
+  EXPECT_EQ(r.rounds_to_variance(0.5), 3u);
+  EXPECT_EQ(r.rounds_to_variance(1000), 0u);
+  EXPECT_EQ(r.rounds_to_variance(0.001), AggregationResult::kNever);
+}
+
+TEST(AggregationOverGossip, ConvergesToTrueMean) {
+  const std::size_t n = 500;
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{20, false}, n, 18);
+  sim::CycleEngine engine(net);
+  engine.run(40);
+  const auto r = run_averaging_over_gossip(net, engine, {.rounds = 40},
+                                           ramp_values(n), Rng(19));
+  EXPECT_NEAR(r.true_mean, (n - 1) / 2.0, 1e-9);
+  EXPECT_LT(r.variance_per_round.back(), 1e-4 * r.variance_per_round.front());
+}
+
+TEST(AggregationOverGossip, GossipContractionWithinFactorOfIdeal) {
+  const std::size_t n = 1000;
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{20, false}, n, 20);
+  sim::CycleEngine engine(net);
+  engine.run(40);
+  const auto gossip = run_averaging_over_gossip(net, engine, {.rounds = 25},
+                                                ramp_values(n), Rng(21));
+  const auto ideal =
+      run_averaging_ideal({.rounds = 25}, ramp_values(n), Rng(22));
+  // Non-uniform sampling slows contraction, but not catastrophically.
+  EXPECT_LT(gossip.mean_contraction(), std::pow(ideal.mean_contraction(), 0.5));
+}
+
+TEST(AggregationOverGossip, ValidatesValueCount) {
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{10, false}, 50, 23);
+  sim::CycleEngine engine(net);
+  EXPECT_THROW(run_averaging_over_gossip(net, engine, {.rounds = 5},
+                                         ramp_values(49), Rng(24)),
+               std::logic_error);
+}
+
+TEST(AggregationOverGossip, PeakDistributionCounts) {
+  // Counting via averaging: start with one node at n, rest at 0; the mean
+  // is 1, so 1/estimate ≈ network size once converged.
+  const std::size_t n = 400;
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{20, false}, n, 25);
+  sim::CycleEngine engine(net);
+  engine.run(40);
+  const auto r = run_averaging_over_gossip(net, engine, {.rounds = 60},
+                                           peak_values(n), Rng(26));
+  EXPECT_NEAR(r.true_mean, 1.0, 1e-9);
+  EXPECT_LT(r.variance_per_round.back(), 1e-6);
+}
+
+}  // namespace
+}  // namespace pss::apps

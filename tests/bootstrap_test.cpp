@@ -1,0 +1,127 @@
+// Unit tests for the bootstrap initializers: random, ring lattice, star.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/sim/bootstrap.hpp"
+
+namespace pss::sim {
+namespace {
+
+TEST(RandomBootstrap, ViewsAreFullDistinctAndExcludeSelf) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{10, false}, 100, 1);
+  for (NodeId id = 0; id < 100; ++id) {
+    const auto& view = net.node(id).view();
+    EXPECT_EQ(view.size(), 10u);
+    EXPECT_FALSE(view.contains(id));
+    for (const auto& d : view.entries()) {
+      EXPECT_LT(d.address, 100u);
+      EXPECT_EQ(d.hop_count, 0u);
+    }
+    view.validate();
+  }
+}
+
+TEST(RandomBootstrap, SmallNetworkViewsCapAtNMinusOne) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{30, false}, 5, 2);
+  for (NodeId id = 0; id < 5; ++id) {
+    EXPECT_EQ(net.node(id).view().size(), 4u);
+  }
+}
+
+TEST(RandomBootstrap, RejectsDegenerateSizes) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{5, false}, 3);
+  net.add_node();
+  EXPECT_THROW(bootstrap::init_random(net), std::logic_error);
+}
+
+TEST(RandomBootstrap, DegreeNearTheoreticalBaseline) {
+  const std::size_t n = 2000, c = 10;
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{c, false}, n, 3);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  // Expected undirected degree: 2c - c^2/(n-1).
+  EXPECT_NEAR(graph::average_degree(g), 2.0 * c - c * c / (n - 1.0), 0.3);
+}
+
+TEST(RandomBootstrap, DifferentSeedsGiveDifferentViews) {
+  auto a = bootstrap::make_random(ProtocolSpec::newscast(),
+                                  ProtocolOptions{5, false}, 50, 10);
+  auto b = bootstrap::make_random(ProtocolSpec::newscast(),
+                                  ProtocolOptions{5, false}, 50, 11);
+  int same = 0;
+  for (NodeId id = 0; id < 50; ++id) {
+    if (a.node(id).view() == b.node(id).view()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(LatticeBootstrap, ViewsHoldNearestRingNeighbours) {
+  auto net = bootstrap::make_lattice(ProtocolSpec::newscast(),
+                                     ProtocolOptions{4, false}, 10, 4);
+  // Node 0's 4 nearest ring neighbours are 1, 9, 2, 8.
+  const auto& view = net.node(0).view();
+  EXPECT_EQ(view.size(), 4u);
+  for (NodeId expected : {1u, 9u, 2u, 8u}) {
+    EXPECT_TRUE(view.contains(expected)) << expected;
+  }
+}
+
+TEST(LatticeBootstrap, IsSymmetricAndRegular) {
+  const std::size_t n = 60, c = 6;
+  auto net = bootstrap::make_lattice(ProtocolSpec::newscast(),
+                                     ProtocolOptions{c, false}, n, 5);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  // A symmetric ring lattice: every vertex has exactly c neighbours.
+  for (std::uint32_t v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), c);
+}
+
+TEST(LatticeBootstrap, HasLargePathLengthAndClustering) {
+  // The motivation for the scenario: structured start far from random.
+  const std::size_t n = 400, c = 8;
+  auto lattice = bootstrap::make_lattice(ProtocolSpec::newscast(),
+                                         ProtocolOptions{c, false}, n, 6);
+  auto random = bootstrap::make_random(ProtocolSpec::newscast(),
+                                       ProtocolOptions{c, false}, n, 6);
+  const auto gl = graph::UndirectedGraph::from_network(lattice);
+  const auto gr = graph::UndirectedGraph::from_network(random);
+  EXPECT_GT(graph::average_path_length(gl).average,
+            3 * graph::average_path_length(gr).average);
+  EXPECT_GT(graph::clustering_coefficient(gl),
+            5 * graph::clustering_coefficient(gr));
+}
+
+TEST(LatticeBootstrap, ConnectedRing) {
+  auto net = bootstrap::make_lattice(ProtocolSpec::newscast(),
+                                     ProtocolOptions{2, false}, 30, 7);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  EXPECT_TRUE(graph::connected_components(g).connected());
+}
+
+TEST(StarBootstrap, HubAndSpokes) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{10, false}, 8);
+  net.add_nodes(7);
+  bootstrap::init_star(net);
+  EXPECT_EQ(net.node(0).view().size(), 6u);
+  for (NodeId id = 1; id < 7; ++id) {
+    EXPECT_EQ(net.node(id).view().size(), 1u);
+    EXPECT_TRUE(net.node(id).view().contains(0));
+  }
+  const auto g = graph::UndirectedGraph::from_network(net);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+}
+
+TEST(StarBootstrap, HubViewRespectsCapacity) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{3, false}, 9);
+  net.add_nodes(10);
+  bootstrap::init_star(net);
+  EXPECT_EQ(net.node(0).view().size(), 3u);
+}
+
+}  // namespace
+}  // namespace pss::sim

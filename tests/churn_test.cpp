@@ -1,0 +1,93 @@
+// Unit tests for the churn model and overlay behaviour under sustained
+// membership turnover.
+#include <gtest/gtest.h>
+
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/churn.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+namespace pss::sim {
+namespace {
+
+TEST(ChurnModel, JoinsAndLeavesAreApplied) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{5, false}, 50, 1);
+  ChurnModel churn({.leaves_per_cycle = 3, .joins_per_cycle = 2,
+                    .contacts_per_join = 2},
+                   Rng(2));
+  churn.apply(net);
+  EXPECT_EQ(churn.stats().left, 3u);
+  EXPECT_EQ(churn.stats().joined, 2u);
+  EXPECT_EQ(net.live_count(), 50u - 3u + 2u);
+  EXPECT_EQ(net.size(), 52u);
+}
+
+TEST(ChurnModel, NewcomersGetContactViews) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{5, false}, 20, 3);
+  ChurnModel churn({.leaves_per_cycle = 0, .joins_per_cycle = 1,
+                    .contacts_per_join = 3},
+                   Rng(4));
+  churn.apply(net);
+  const NodeId newcomer = 20;
+  EXPECT_TRUE(net.is_live(newcomer));
+  EXPECT_EQ(net.node(newcomer).view().size(), 3u);
+  for (const auto& d : net.node(newcomer).view().entries()) {
+    EXPECT_LT(d.address, 20u);  // contacts come from the old population
+  }
+}
+
+TEST(ChurnModel, NeverKillsBelowFloor) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{3, false}, 5, 5);
+  ChurnModel churn({.leaves_per_cycle = 100, .joins_per_cycle = 0,
+                    .contacts_per_join = 2},
+                   Rng(6));
+  churn.apply(net);
+  EXPECT_GE(net.live_count(), 3u);  // contacts_per_join + 1
+  churn.apply(net);
+  EXPECT_GE(net.live_count(), 3u);
+}
+
+TEST(ChurnModel, OverlayStaysConnectedUnderMildChurn) {
+  // Newscast under 2% churn per cycle must keep the live overlay connected
+  // (its self-healing headline property).
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{15, false}, 300, 7);
+  CycleEngine engine(net);
+  ChurnModel churn({.leaves_per_cycle = 5, .joins_per_cycle = 5,
+                    .contacts_per_join = 1},
+                   Rng(8));
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    churn.apply(net);
+    engine.run_cycle();
+  }
+  EXPECT_EQ(net.live_count(), 300u);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  EXPECT_TRUE(graph::connected_components(g).connected());
+}
+
+TEST(ChurnModel, DeadLinksStayBoundedWithHeadSelection) {
+  // Head view selection ages dead descriptors out quickly; under steady
+  // churn the dead-link count must stabilize well below the total link
+  // count rather than growing without bound.
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{10, false}, 200, 9);
+  CycleEngine engine(net);
+  ChurnModel churn({.leaves_per_cycle = 4, .joins_per_cycle = 4,
+                    .contacts_per_join = 1},
+                   Rng(10));
+  std::uint64_t last = 0;
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    churn.apply(net);
+    engine.run_cycle();
+    last = net.count_dead_links();
+  }
+  const std::uint64_t total_links = net.live_count() * 10u;
+  EXPECT_LT(last, total_links / 4);
+}
+
+}  // namespace
+}  // namespace pss::sim

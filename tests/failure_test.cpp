@@ -1,0 +1,129 @@
+// Unit tests for the catastrophic-failure experiments (Section 7): static
+// robustness sweeps and dynamic self-healing after 50% node failure.
+#include <gtest/gtest.h>
+
+#include "pss/experiments/failure.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+
+namespace pss::experiments {
+namespace {
+
+ScenarioParams small_params() {
+  ScenarioParams p;
+  p.n = 300;
+  p.view_size = 15;  // keeps c/ln(N) near the paper's density regime
+  p.cycles = 30;
+  p.seed = 7;
+  p.exact_metrics = true;
+  return p;
+}
+
+sim::Network converged_network(ProtocolSpec spec, const ScenarioParams& p) {
+  auto net = sim::bootstrap::make_random(spec, p.protocol_options(), p.n, p.seed);
+  sim::CycleEngine engine(net);
+  engine.run(p.cycles);
+  return net;
+}
+
+TEST(StaticRobustness, NoPartitionAtLowRemoval) {
+  const auto net = converged_network(ProtocolSpec::newscast(), small_params());
+  const auto points = run_static_robustness(net, {0.1, 0.3, 0.5}, 10, 99);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& point : points) {
+    EXPECT_DOUBLE_EQ(point.avg_outside_largest, 0.0)
+        << "removal " << point.removed_fraction;
+    EXPECT_DOUBLE_EQ(point.partitioned_fraction, 0.0);
+    EXPECT_EQ(point.trials, 10u);
+  }
+}
+
+TEST(StaticRobustness, HighRemovalFragmentsButGiantComponentSurvives) {
+  // The paper's Figure 6 shape: beyond ~70% removal some nodes fall outside
+  // the largest cluster, but the survivors still form one dominant blob.
+  const auto net = converged_network(ProtocolSpec::newscast(), small_params());
+  const auto points = run_static_robustness(net, {0.90, 0.95}, 30, 100);
+  EXPECT_GT(points[1].avg_outside_largest, points[0].avg_outside_largest);
+  // Even at 95% removal the bulk of survivors stay connected: of ~15
+  // survivors, on average only a few are outside the giant component.
+  EXPECT_LT(points[1].avg_outside_largest, 10.0);
+}
+
+TEST(StaticRobustness, MonotoneRemovalSweep) {
+  const auto net = converged_network(ProtocolSpec::newscast(), small_params());
+  const auto points =
+      run_static_robustness(net, {0.0, 0.5, 0.8, 0.92, 0.97}, 20, 101);
+  EXPECT_DOUBLE_EQ(points[0].avg_outside_largest, 0.0);  // nothing removed
+  // Fragmentation is (statistically) increasing along the sweep tail.
+  EXPECT_LE(points[1].avg_outside_largest, points[3].avg_outside_largest + 1e-9);
+  EXPECT_LE(points[2].partitioned_fraction, points[4].partitioned_fraction + 1e-9);
+}
+
+TEST(StaticRobustness, ValidatesInputs) {
+  const auto net = converged_network(ProtocolSpec::newscast(), small_params());
+  EXPECT_THROW(run_static_robustness(net, {0.5}, 0, 1), std::logic_error);
+  EXPECT_THROW(run_static_robustness(net, {1.0}, 1, 1), std::logic_error);
+  EXPECT_THROW(run_static_robustness(net, {-0.1}, 1, 1), std::logic_error);
+}
+
+TEST(SelfHealing, HeadSelectionRemovesDeadLinksExponentially) {
+  ScenarioParams p = small_params();
+  const auto healing =
+      run_self_healing(ProtocolSpec::newscast(), p, /*extra_cycles=*/40,
+                       /*kill_fraction=*/0.5);
+  EXPECT_EQ(healing.failure_cycle, 30u);
+  EXPECT_GT(healing.dead_links_at_failure, 0u);
+  // Newscast heals completely within tens of cycles.
+  EXPECT_EQ(healing.dead_links.back(), 0u);
+  const auto half_life = healing.cycles_to_reach(healing.dead_links_at_failure / 2);
+  EXPECT_NE(half_life, SelfHealingResult::kNever);
+  EXPECT_LE(half_life, 10u);
+}
+
+TEST(SelfHealing, RandSelectionHealsMuchSlower) {
+  ScenarioParams p = small_params();
+  const ProtocolSpec rand_vs{PeerSelection::kRand, ViewSelection::kRand,
+                             ViewPropagation::kPushPull};
+  const auto head = run_self_healing(ProtocolSpec::newscast(), p, 30, 0.5);
+  const auto rand = run_self_healing(rand_vs, p, 30, 0.5);
+  // After 30 cycles head selection is (near) clean, rand retains a large
+  // fraction of its dead links — the Figure 7 contrast.
+  EXPECT_LT(head.dead_links.back() * 10, rand.dead_links.back() + 10);
+  EXPECT_GT(rand.dead_links.back(), rand.dead_links_at_failure / 4);
+}
+
+TEST(SelfHealing, SurvivorsStayConnected) {
+  ScenarioParams p = small_params();
+  const auto healing = run_self_healing(ProtocolSpec::newscast(), p, 10, 0.5);
+  // Indirect connectivity check: dead links decline monotonically-ish and
+  // the run completes; direct check via a fresh converged run.
+  auto net = converged_network(ProtocolSpec::newscast(), p);
+  Rng rng(1);
+  net.kill_random(150, rng);
+  sim::CycleEngine engine(net);
+  engine.run(10);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  EXPECT_TRUE(graph::connected_components(g).connected());
+  EXPECT_EQ(healing.dead_links.size(), 10u);
+}
+
+TEST(SelfHealing, ValidatesKillFraction) {
+  ScenarioParams p = small_params();
+  EXPECT_THROW(run_self_healing(ProtocolSpec::newscast(), p, 5, 0.0),
+               std::logic_error);
+  EXPECT_THROW(run_self_healing(ProtocolSpec::newscast(), p, 5, 1.0),
+               std::logic_error);
+}
+
+TEST(SelfHealing, CyclesToReachSemantics) {
+  SelfHealingResult r;
+  r.dead_links = {100, 50, 20, 5, 0};
+  EXPECT_EQ(r.cycles_to_reach(60), 2u);
+  EXPECT_EQ(r.cycles_to_reach(0), 5u);
+  EXPECT_EQ(r.cycles_to_reach(200), 1u);
+  r.dead_links = {100, 100};
+  EXPECT_EQ(r.cycles_to_reach(10), SelfHealingResult::kNever);
+}
+
+}  // namespace
+}  // namespace pss::experiments

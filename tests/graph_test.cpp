@@ -1,0 +1,116 @@
+// Unit tests for the undirected graph snapshot: CSR construction,
+// deduplication, network extraction with dead-link filtering, re-indexing.
+#include <gtest/gtest.h>
+
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/sim/bootstrap.hpp"
+
+namespace pss::graph {
+namespace {
+
+TEST(UndirectedGraph, BuildsFromEdgeList) {
+  UndirectedGraph g(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(UndirectedGraph, DeduplicatesParallelAndReversedEdges) {
+  UndirectedGraph g(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(UndirectedGraph, DropsSelfLoops) {
+  UndirectedGraph g(2, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(UndirectedGraph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(UndirectedGraph(2, {{0, 2}}), std::logic_error);
+}
+
+TEST(UndirectedGraph, NeighborsAreSorted) {
+  UndirectedGraph g(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}});
+  auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(UndirectedGraph, EmptyAndEdgelessGraphs) {
+  UndirectedGraph g0(0, {});
+  EXPECT_EQ(g0.vertex_count(), 0u);
+  EXPECT_EQ(g0.edge_count(), 0u);
+  UndirectedGraph g3(3, {});
+  EXPECT_EQ(g3.vertex_count(), 3u);
+  EXPECT_EQ(g3.degree(1), 0u);
+  EXPECT_TRUE(g3.neighbors(1).empty());
+}
+
+TEST(UndirectedGraph, FromViewsUsesDirectedEntriesAsUndirectedEdges) {
+  std::vector<View> views(3);
+  views[0] = View{{1, 0}};
+  views[1] = View{{0, 5}, {2, 1}};  // (1,0) duplicates (0,1)
+  const auto g = UndirectedGraph::from_views(views);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(UndirectedGraph, FromViewsRejectsForeignAddresses) {
+  std::vector<View> views(2);
+  views[0] = View{{7, 0}};
+  EXPECT_THROW(UndirectedGraph::from_views(views), std::logic_error);
+}
+
+TEST(UndirectedGraph, FromNetworkSkipsDeadNodesAndDeadLinks) {
+  sim::Network net(ProtocolSpec::newscast(), ProtocolOptions{5, false}, 1);
+  net.add_nodes(4);
+  net.node(0).set_view(View{{1, 0}, {3, 0}});
+  net.node(1).set_view(View{{2, 0}});
+  net.node(2).set_view(View{{3, 0}});
+  net.kill(3);
+  const auto g = UndirectedGraph::from_network(net);
+  EXPECT_EQ(g.vertex_count(), 3u);  // nodes 0, 1, 2
+  EXPECT_EQ(g.edge_count(), 2u);    // 0-1, 1-2; links to 3 ignored
+}
+
+TEST(UndirectedGraph, FromNetworkReindexesAddresses) {
+  sim::Network net(ProtocolSpec::newscast(), ProtocolOptions{5, false}, 2);
+  net.add_nodes(5);
+  net.kill(0);
+  net.kill(2);
+  net.node(1).set_view(View{{3, 0}});
+  net.node(3).set_view(View{{4, 0}});
+  const auto g = UndirectedGraph::from_network(net);
+  ASSERT_EQ(g.vertex_count(), 3u);
+  // Vertices map to live addresses 1, 3, 4 in order.
+  EXPECT_EQ(g.address_of(0), 1u);
+  EXPECT_EQ(g.address_of(1), 3u);
+  EXPECT_EQ(g.address_of(2), 4u);
+  EXPECT_EQ(g.vertex_of(3), 1u);
+  EXPECT_EQ(g.vertex_of(0), UndirectedGraph::kNoVertex);
+  EXPECT_EQ(g.vertex_of(99), UndirectedGraph::kNoVertex);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(UndirectedGraph, CompleteGraphDegrees) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::uint32_t n = 6;
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  UndirectedGraph g(n, std::move(edges));
+  EXPECT_EQ(g.edge_count(), n * (n - 1) / 2);
+  for (std::uint32_t v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), n - 1);
+}
+
+}  // namespace
+}  // namespace pss::graph

@@ -1,0 +1,229 @@
+// Tests for the generalized (H, S) protocol family (TOCS-2007 design
+// space, the follow-up the Middleware'04 conclusion points to): node-level
+// buffer/select semantics, invariants across the (H, S) grid, and the
+// healer/swapper behavioural signatures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pss/protocol/hs_node.hpp"
+#include "pss/sim/hs_overlay.hpp"
+#include "pss/stats/descriptive.hpp"
+
+namespace pss {
+namespace {
+
+std::vector<NodeDescriptor> make_entries(std::size_t n, HopCount age = 0,
+                                         NodeId base = 1) {
+  std::vector<NodeDescriptor> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({static_cast<NodeId>(base + i), age});
+  return out;
+}
+
+TEST(HSParams, ProfilesAndValidation) {
+  const auto blind = HSParams::blind(30);
+  EXPECT_EQ(blind.healer, 0u);
+  EXPECT_EQ(blind.swapper, 0u);
+  EXPECT_EQ(HSParams::healer_profile(30).healer, 15u);
+  EXPECT_EQ(HSParams::swapper_profile(30).swapper, 15u);
+  EXPECT_EQ(blind.buffer_size(), 15u);
+  EXPECT_THROW(HSGossipNode(0, {30, 16, 0, false, true}, Rng(1)),
+               std::logic_error);
+  EXPECT_THROW(HSGossipNode(0, {30, 8, 8, false, true}, Rng(1)),
+               std::logic_error);
+}
+
+TEST(HSGossipNode, InitDropsSelfAndTruncates) {
+  HSGossipNode node(2, HSParams::blind(4), Rng(1));
+  node.init_view({{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0}});
+  EXPECT_EQ(node.view_size(), 4u);
+  EXPECT_FALSE(node.knows(2));
+  node.validate();
+}
+
+TEST(HSGossipNode, BufferContainsSelfFirstAtAgeZero) {
+  HSGossipNode node(0, HSParams::blind(10), Rng(2));
+  node.init_view(make_entries(10, 3));
+  const auto buffer = node.make_buffer();
+  ASSERT_FALSE(buffer.empty());
+  EXPECT_EQ(buffer.front().address, 0u);
+  EXPECT_EQ(buffer.front().hop_count, 0u);
+  EXPECT_EQ(buffer.size(), 5u);  // c/2
+  for (std::size_t i = 1; i < buffer.size(); ++i)
+    EXPECT_TRUE(node.knows(buffer[i].address));
+}
+
+TEST(HSGossipNode, HealerBufferExcludesOldest) {
+  // With H = c/2, the H oldest items are moved behind the send window, so
+  // the buffer carries only the freshest half.
+  HSGossipNode node(0, HSParams::healer_profile(8), Rng(3));
+  std::vector<NodeDescriptor> entries;
+  for (NodeId id = 1; id <= 4; ++id) entries.push_back({id, 1});    // fresh
+  for (NodeId id = 5; id <= 8; ++id) entries.push_back({id, 9});    // old
+  node.init_view(entries);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto buffer = node.make_buffer();
+    for (std::size_t i = 1; i < buffer.size(); ++i) {
+      EXPECT_LE(buffer[i].hop_count, 1u) << "old item leaked into buffer";
+    }
+  }
+}
+
+TEST(HSGossipNode, IntegrateRespectsCapacityAndDedup) {
+  HSGossipNode node(0, HSParams::blind(6), Rng(4));
+  node.init_view(make_entries(6, 2));
+  node.integrate({{10, 0}, {11, 0}, {1, 0}});  // 1 is a duplicate, fresher
+  EXPECT_EQ(node.view_size(), 6u);
+  node.validate();
+  // The duplicate kept the minimum age.
+  for (const auto& d : node.entries()) {
+    if (d.address == 1) {
+      EXPECT_EQ(d.hop_count, 0u);
+    }
+  }
+}
+
+TEST(HSGossipNode, IntegrateIgnoresSelf) {
+  HSGossipNode node(7, HSParams::blind(4), Rng(5));
+  node.integrate({{7, 0}, {1, 0}});
+  EXPECT_FALSE(node.knows(7));
+  EXPECT_TRUE(node.knows(1));
+}
+
+TEST(HSGossipNode, HealerEvictsOldestOnOverflow) {
+  HSGossipNode node(0, {6, 3, 0, false, true}, Rng(6));
+  std::vector<NodeDescriptor> entries;
+  for (NodeId id = 1; id <= 6; ++id)
+    entries.push_back({id, static_cast<HopCount>(id)});  // ages 1..6
+  node.init_view(entries);
+  node.integrate({{10, 0}, {11, 0}, {12, 0}});  // overflow by 3 -> H removes 3 oldest
+  EXPECT_EQ(node.view_size(), 6u);
+  EXPECT_FALSE(node.knows(6));
+  EXPECT_FALSE(node.knows(5));
+  EXPECT_FALSE(node.knows(4));
+  for (NodeId id : {10u, 11u, 12u}) EXPECT_TRUE(node.knows(id));
+}
+
+TEST(HSGossipNode, SwapperDropsSentItems) {
+  HSGossipNode node(0, {6, 0, 3, false, true}, Rng(7));
+  node.init_view(make_entries(6, 1));
+  const auto sent = node.make_buffer();  // head of the list = sent items
+  node.integrate({{20, 0}, {21, 0}, {22, 0}});
+  EXPECT_EQ(node.view_size(), 6u);
+  // The swapped-out items are exactly (a subset of) what was sent.
+  std::size_t sent_still_known = 0;
+  for (std::size_t i = 1; i < sent.size(); ++i)
+    sent_still_known += node.knows(sent[i].address) ? 1 : 0;
+  EXPECT_LE(sent_still_known, sent.size() - 1 - 3 + 1);
+  for (NodeId id : {20u, 21u, 22u}) EXPECT_TRUE(node.knows(id));
+}
+
+TEST(HSGossipNode, TailPeerSelectionPicksOldestClass) {
+  HSParams params = HSParams::blind(6);
+  params.tail_peer_selection = true;
+  HSGossipNode node(0, params, Rng(8));
+  node.init_view({{1, 1}, {2, 9}, {3, 9}, {4, 2}});
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto peer = node.select_peer();
+    ASSERT_TRUE(peer.has_value());
+    EXPECT_TRUE(*peer == 2 || *peer == 3);
+  }
+}
+
+TEST(HSGossipNode, AgeIncreasesUniformly) {
+  HSGossipNode node(0, HSParams::blind(4), Rng(9));
+  node.init_view({{1, 0}, {2, 5}});
+  node.increase_age();
+  for (const auto& d : node.entries()) {
+    if (d.address == 1) {
+      EXPECT_EQ(d.hop_count, 1u);
+    }
+    if (d.address == 2) {
+      EXPECT_EQ(d.hop_count, 6u);
+    }
+  }
+}
+
+class HSGrid : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(HSGrid, InvariantsHoldAcrossTheDesignSpace) {
+  const auto [h, s] = GetParam();
+  HSParams params{16, h, s, false, true};
+  sim::HSOverlay overlay(120, params, 99);
+  overlay.run(25);
+  for (NodeId id = 0; id < overlay.size(); ++id) {
+    ASSERT_NO_THROW(overlay.node(id).validate());
+    ASSERT_EQ(overlay.node(id).view_size(), 16u);
+  }
+  EXPECT_TRUE(overlay.connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HSGrid,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{0, 0},
+                      std::pair<std::size_t, std::size_t>{8, 0},
+                      std::pair<std::size_t, std::size_t>{0, 8},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{2, 6},
+                      std::pair<std::size_t, std::size_t>{6, 2}),
+    [](const auto& info) {
+      return "H" + std::to_string(info.param.first) + "_S" +
+             std::to_string(info.param.second);
+    });
+
+TEST(HSOverlay, HealerRemovesDeadLinksFastest) {
+  auto run = [](HSParams params) {
+    sim::HSOverlay overlay(400, params, 17);
+    overlay.run(30);
+    overlay.kill_random(200);
+    const auto at_failure = overlay.count_dead_links();
+    overlay.run(20);
+    return std::pair<std::uint64_t, std::uint64_t>{at_failure,
+                                                   overlay.count_dead_links()};
+  };
+  const auto healer = run(HSParams::healer_profile(16));
+  const auto blind = run(HSParams::blind(16));
+  EXPECT_GT(healer.first, 0u);
+  // Healer purges essentially everything within 20 cycles; blind retains
+  // a clearly larger share.
+  EXPECT_LT(healer.second * 5, blind.second + 5);
+}
+
+TEST(HSOverlay, SwapperBalancesDegreesBest) {
+  auto degree_stddev = [](HSParams params) {
+    sim::HSOverlay overlay(500, params, 23);
+    overlay.run(40);
+    const auto degs = overlay.degrees();
+    stats::Accumulator acc;
+    for (std::size_t d : degs) acc.add(static_cast<double>(d));
+    return acc.stddev_population();
+  };
+  const double swapper = degree_stddev(HSParams::swapper_profile(16));
+  const double blind = degree_stddev(HSParams::blind(16));
+  // TOCS 2007 Fig. 5: swapper's degree distribution is the narrowest.
+  EXPECT_LT(swapper, blind);
+}
+
+TEST(HSOverlay, DeterministicGivenSeed) {
+  auto snapshot = [] {
+    sim::HSOverlay overlay(100, HSParams::healer_profile(12), 31);
+    overlay.run(15);
+    std::vector<std::vector<NodeDescriptor>> views;
+    for (NodeId id = 0; id < overlay.size(); ++id)
+      views.push_back(overlay.node(id).entries());
+    return views;
+  };
+  EXPECT_EQ(snapshot(), snapshot());
+}
+
+TEST(HSOverlay, PushOnlyStillConverges) {
+  HSParams params = HSParams::blind(16);
+  params.pushpull = false;
+  sim::HSOverlay overlay(200, params, 37);
+  overlay.run(40);
+  EXPECT_TRUE(overlay.connected());
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,218 @@
+// Unit tests for the view algebra (paper Section 3): ordering, merge
+// semantics, hop-count aging, and the three view-selection policies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pss/membership/view.hpp"
+
+namespace pss {
+namespace {
+
+TEST(NodeDescriptor, OrderingByHopThenAddress) {
+  ByHopThenAddress less;
+  EXPECT_TRUE(less({1, 0}, {2, 1}));
+  EXPECT_TRUE(less({5, 2}, {3, 4}));
+  EXPECT_TRUE(less({1, 3}, {2, 3}));  // hop tie -> address
+  EXPECT_FALSE(less({2, 3}, {1, 3}));
+  EXPECT_FALSE(less({1, 3}, {1, 3}));  // irreflexive
+}
+
+TEST(View, ConstructionSortsByHopCount) {
+  View v{{7, 5}, {2, 1}, {9, 3}};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.at(0).address, 2u);
+  EXPECT_EQ(v.at(1).address, 9u);
+  EXPECT_EQ(v.at(2).address, 7u);
+  v.validate();
+}
+
+TEST(View, ConstructionDeduplicatesKeepingLowestHop) {
+  View v{{4, 9}, {4, 2}, {4, 5}};
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.at(0).address, 4u);
+  EXPECT_EQ(v.at(0).hop_count, 2u);
+}
+
+TEST(View, EmptyViewBasics) {
+  View v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_FALSE(v.contains(0));
+  EXPECT_THROW(v.head(), std::logic_error);
+  EXPECT_THROW(v.tail(), std::logic_error);
+  EXPECT_THROW(v.at(0), std::logic_error);
+}
+
+TEST(View, HeadAndTailFollowHopOrder) {
+  View v{{10, 4}, {20, 1}, {30, 9}};
+  EXPECT_EQ(v.head().address, 20u);
+  EXPECT_EQ(v.tail().address, 30u);
+}
+
+TEST(View, ContainsAndHopCountOf) {
+  View v{{1, 2}, {2, 3}};
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_FALSE(v.contains(3));
+  EXPECT_EQ(v.hop_count_of(1), 2u);
+  EXPECT_EQ(v.hop_count_of(2), 3u);
+  EXPECT_THROW(v.hop_count_of(3), std::logic_error);
+}
+
+TEST(View, InsertNewKeepsOrder) {
+  View v{{1, 5}};
+  EXPECT_TRUE(v.insert({2, 1}));
+  EXPECT_TRUE(v.insert({3, 9}));
+  EXPECT_EQ(v.at(0).address, 2u);
+  EXPECT_EQ(v.at(2).address, 3u);
+  v.validate();
+}
+
+TEST(View, InsertDuplicateKeepsLowerHop) {
+  View v{{1, 5}};
+  EXPECT_TRUE(v.insert({1, 2}));   // fresher info wins
+  EXPECT_EQ(v.hop_count_of(1), 2u);
+  EXPECT_FALSE(v.insert({1, 7}));  // staler info is discarded
+  EXPECT_EQ(v.hop_count_of(1), 2u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(View, EraseRemovesOnlyTarget) {
+  View v{{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_TRUE(v.erase(2));
+  EXPECT_FALSE(v.erase(2));
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_TRUE(v.contains(3));
+}
+
+TEST(View, IncreaseHopCountAgesEveryEntry) {
+  View v{{1, 0}, {2, 4}};
+  v.increase_hop_count();
+  EXPECT_EQ(v.hop_count_of(1), 1u);
+  EXPECT_EQ(v.hop_count_of(2), 5u);
+  v.validate();
+}
+
+TEST(View, IncreaseHopCountOnEmptyIsNoop) {
+  View v;
+  v.increase_hop_count();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(View, MergeIsUnionByAddress) {
+  View a{{1, 1}, {2, 2}};
+  View b{{3, 3}, {4, 4}};
+  View m = View::merge(a, b);
+  EXPECT_EQ(m.size(), 4u);
+  for (NodeId id : {1u, 2u, 3u, 4u}) EXPECT_TRUE(m.contains(id));
+}
+
+TEST(View, MergeKeepsLowestHopOnConflict) {
+  // The paper: "When there is a descriptor for the same node in each view,
+  // only the one with the lowest hop count is inserted."
+  View a{{1, 5}, {2, 1}};
+  View b{{1, 2}, {2, 8}};
+  View m = View::merge(a, b);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.hop_count_of(1), 2u);
+  EXPECT_EQ(m.hop_count_of(2), 1u);
+}
+
+TEST(View, MergeIsCommutative) {
+  View a{{1, 5}, {2, 1}, {7, 3}};
+  View b{{1, 2}, {9, 0}};
+  EXPECT_EQ(View::merge(a, b), View::merge(b, a));
+}
+
+TEST(View, MergeWithEmptyIsIdentity) {
+  View a{{1, 1}, {2, 2}};
+  EXPECT_EQ(View::merge(a, View{}), a);
+  EXPECT_EQ(View::merge(View{}, a), a);
+}
+
+TEST(View, SelectHeadTakesFreshest) {
+  View v{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  View h = v.select_head(2);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.contains(1));
+  EXPECT_TRUE(h.contains(2));
+}
+
+TEST(View, SelectTailTakesOldest) {
+  View v{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  View t = v.select_tail(2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_TRUE(t.contains(4));
+}
+
+TEST(View, SelectionWithLargeCapacityIsIdentity) {
+  View v{{1, 1}, {2, 2}};
+  Rng rng(1);
+  EXPECT_EQ(v.select_head(10), v);
+  EXPECT_EQ(v.select_tail(10), v);
+  EXPECT_EQ(v.select_rand(10, rng), v);
+}
+
+TEST(View, SelectRandIsSubsetOfRightSize) {
+  std::vector<NodeDescriptor> entries;
+  for (NodeId i = 0; i < 20; ++i) entries.push_back({i, i});
+  View v(entries);
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    View r = v.select_rand(7, rng);
+    EXPECT_EQ(r.size(), 7u);
+    for (const auto& d : r.entries()) EXPECT_TRUE(v.contains(d.address));
+    r.validate();
+  }
+}
+
+TEST(View, SelectRandCoversAllEntriesEventually) {
+  View v{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  Rng rng(3);
+  std::set<NodeId> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    const View picked = v.select_rand(1, rng);
+    for (const auto& d : picked.entries()) seen.insert(d.address);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(View, PeerSelectionPolicies) {
+  View v{{10, 1}, {20, 5}, {30, 3}};
+  EXPECT_EQ(v.peer_head(), 10u);
+  EXPECT_EQ(v.peer_tail(), 20u);
+  Rng rng(4);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(v.peer_rand(rng));
+  EXPECT_EQ(seen, (std::set<NodeId>{10, 20, 30}));
+}
+
+TEST(View, PeerSelectionOnEmptyThrows) {
+  View v;
+  Rng rng(5);
+  EXPECT_THROW(v.peer_rand(rng), std::logic_error);
+}
+
+TEST(View, HopCountTieOrderIsDeterministic) {
+  View a{{3, 2}, {1, 2}, {2, 2}};
+  View b{{2, 2}, {3, 2}, {1, 2}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.at(0).address, 1u);
+  EXPECT_EQ(a.at(2).address, 3u);
+}
+
+TEST(View, MergePreservesBothWhenDisjointHops) {
+  // Realistic exchange-shaped merge: aged remote view vs local view.
+  View local{{1, 1}, {2, 2}, {3, 3}};
+  View remote{{4, 2}, {5, 2}, {1, 4}};
+  View m = View::merge(remote, local);
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_EQ(m.hop_count_of(1), 1u);
+  m.validate();
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,180 @@
+// Unit tests for graph metrics against closed-form values on canonical
+// graphs (complete, ring, star, path, disjoint unions), plus estimator
+// accuracy checks for the sampled variants.
+#include <gtest/gtest.h>
+
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/random_graph.hpp"
+
+namespace pss::graph {
+namespace {
+
+UndirectedGraph complete(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < n; ++u)
+    for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return UndirectedGraph(n, std::move(edges));
+}
+
+UndirectedGraph ring(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  return UndirectedGraph(n, std::move(edges));
+}
+
+UndirectedGraph star(std::uint32_t leaves) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return UndirectedGraph(leaves + 1, std::move(edges));
+}
+
+UndirectedGraph path(std::uint32_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u + 1 < n; ++u) edges.emplace_back(u, u + 1);
+  return UndirectedGraph(n, std::move(edges));
+}
+
+TEST(Metrics, AverageDegreeKnownGraphs) {
+  EXPECT_DOUBLE_EQ(average_degree(complete(5)), 4.0);
+  EXPECT_DOUBLE_EQ(average_degree(ring(10)), 2.0);
+  EXPECT_DOUBLE_EQ(average_degree(star(4)), 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(average_degree(UndirectedGraph(3, {})), 0.0);
+}
+
+TEST(Metrics, DegreeHistogramShape) {
+  const auto h = degree_histogram(star(4));
+  ASSERT_EQ(h.size(), 5u);  // max degree 4
+  EXPECT_EQ(h[1], 4u);      // four leaves
+  EXPECT_EQ(h[4], 1u);      // one hub
+  EXPECT_EQ(h[0], 0u);
+}
+
+TEST(Metrics, DegreeSummaryMoments) {
+  const auto s = degree_summary(star(4));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 1.6);
+  // Variance: E[d^2] - mean^2 = (4*1 + 16)/5 - 2.56 = 1.44.
+  EXPECT_NEAR(s.variance, 1.44, 1e-12);
+}
+
+TEST(Metrics, ClusteringCompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(clustering_coefficient(complete(6)), 1.0);
+}
+
+TEST(Metrics, ClusteringTreeAndRingAreZero) {
+  EXPECT_DOUBLE_EQ(clustering_coefficient(star(5)), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(ring(8)), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(path(6)), 0.0);
+}
+
+TEST(Metrics, ClusteringTriangleWithTail) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0.
+  UndirectedGraph g(4, {{0, 1}, {1, 2}, {0, 2}, {0, 3}});
+  // Local: node0 neighbours {1,2,3}: one edge of three possible = 1/3;
+  // node1 and node2: 1; node3: degree 1 -> 0. Mean = (1/3+1+1+0)/4.
+  EXPECT_NEAR(clustering_coefficient(g), (1.0 / 3 + 2.0) / 4, 1e-12);
+  EXPECT_NEAR(local_clustering(g, 0), 1.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(local_clustering(g, 3), 0.0);
+}
+
+TEST(Metrics, ClusteringSampledMatchesExactOnLargeSample) {
+  Rng rng(1);
+  const auto g = random_view_graph(300, 8, rng);
+  Rng sample_rng(2);
+  EXPECT_DOUBLE_EQ(clustering_coefficient_sampled(g, 300, sample_rng),
+                   clustering_coefficient(g));
+  Rng sample_rng2(3);
+  EXPECT_NEAR(clustering_coefficient_sampled(g, 150, sample_rng2),
+              clustering_coefficient(g), 0.02);
+}
+
+TEST(Metrics, BfsDistancesOnPath) {
+  const auto d = bfs_distances(path(5), 0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Metrics, BfsUnreachableMarked) {
+  UndirectedGraph g(4, {{0, 1}, {2, 3}});
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Metrics, PathLengthCompleteGraphIsOne) {
+  const auto r = average_path_length(complete(7));
+  EXPECT_DOUBLE_EQ(r.average, 1.0);
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 1.0);
+  EXPECT_EQ(r.diameter, 1u);
+}
+
+TEST(Metrics, PathLengthRingClosedForm) {
+  // Even ring of n=8: distances from any vertex: 1,1,2,2,3,3,4 -> mean 16/7.
+  const auto r = average_path_length(ring(8));
+  EXPECT_NEAR(r.average, 16.0 / 7.0, 1e-12);
+  EXPECT_EQ(r.diameter, 4u);
+}
+
+TEST(Metrics, PathLengthStar) {
+  // Star with 4 leaves: hub<->leaf = 1 (8 ordered pairs), leaf<->leaf = 2
+  // (12 ordered pairs); mean = (8*1 + 12*2)/20 = 1.6.
+  const auto r = average_path_length(star(4));
+  EXPECT_NEAR(r.average, 1.6, 1e-12);
+}
+
+TEST(Metrics, PathLengthDisconnectedReportsReachableFraction) {
+  UndirectedGraph g(4, {{0, 1}, {2, 3}});
+  const auto r = average_path_length(g);
+  EXPECT_DOUBLE_EQ(r.average, 1.0);
+  EXPECT_NEAR(r.reachable_fraction, 4.0 / 12.0, 1e-12);
+}
+
+TEST(Metrics, PathLengthSampledExactWhenSamplesCoverAll) {
+  const auto g = ring(12);
+  Rng rng(5);
+  const auto exact = average_path_length(g);
+  const auto sampled = average_path_length_sampled(g, 12, rng);
+  EXPECT_DOUBLE_EQ(sampled.average, exact.average);
+}
+
+TEST(Metrics, PathLengthSampledCloseToExact) {
+  Rng rng(6);
+  const auto g = random_view_graph(500, 6, rng);
+  const auto exact = average_path_length(g);
+  Rng sample_rng(7);
+  const auto sampled = average_path_length_sampled(g, 60, sample_rng);
+  EXPECT_NEAR(sampled.average, exact.average, 0.05 * exact.average);
+}
+
+TEST(Metrics, ComponentsConnectedGraph) {
+  const auto info = connected_components(ring(9));
+  EXPECT_TRUE(info.connected());
+  EXPECT_EQ(info.count, 1u);
+  EXPECT_EQ(info.largest, 9u);
+  EXPECT_EQ(info.outside_largest(), 0u);
+}
+
+TEST(Metrics, ComponentsDisjointUnion) {
+  // Ring(3) + path(2) + isolated vertex.
+  UndirectedGraph g(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  const auto info = connected_components(g);
+  EXPECT_EQ(info.count, 3u);
+  EXPECT_EQ(info.largest, 3u);
+  EXPECT_EQ(info.sizes, (std::vector<std::size_t>{3, 2, 1}));
+  EXPECT_EQ(info.outside_largest(), 3u);
+  // Labels consistent: same component same label.
+  EXPECT_EQ(info.label[0], info.label[1]);
+  EXPECT_EQ(info.label[3], info.label[4]);
+  EXPECT_NE(info.label[0], info.label[3]);
+  EXPECT_NE(info.label[0], info.label[5]);
+}
+
+TEST(Metrics, ComponentsEmptyGraph) {
+  const auto info = connected_components(UndirectedGraph(0, {}));
+  EXPECT_EQ(info.count, 0u);
+  EXPECT_EQ(info.largest, 0u);
+}
+
+}  // namespace
+}  // namespace pss::graph

@@ -1,0 +1,130 @@
+// Unit tests for the network registry: node lifecycle, liveness, dead-link
+// accounting, and random kills.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pss/sim/network.hpp"
+
+namespace pss::sim {
+namespace {
+
+Network make(std::size_t n, std::uint64_t seed = 1) {
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{5, false}, seed);
+  if (n > 0) net.add_nodes(n);
+  return net;
+}
+
+TEST(Network, AddNodesAssignsDenseIds) {
+  auto net = make(0);
+  EXPECT_EQ(net.add_node(), 0u);
+  EXPECT_EQ(net.add_node(), 1u);
+  EXPECT_EQ(net.add_nodes(3), 2u);
+  EXPECT_EQ(net.size(), 5u);
+  EXPECT_EQ(net.live_count(), 5u);
+}
+
+TEST(Network, NodeAccessorsValidateRange) {
+  auto net = make(2);
+  EXPECT_NO_THROW(net.node(1));
+  EXPECT_THROW(net.node(2), std::logic_error);
+  const auto& cnet = net;
+  EXPECT_THROW(cnet.node(7), std::logic_error);
+}
+
+TEST(Network, NewNodesAreLiveWithEmptyViews) {
+  auto net = make(3);
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_TRUE(net.is_live(id));
+    EXPECT_TRUE(net.node(id).view().empty());
+    EXPECT_EQ(net.node(id).self(), id);
+  }
+  EXPECT_FALSE(net.is_live(99));  // out of range is simply not live
+}
+
+TEST(Network, KillAndReviveTrackLiveCount) {
+  auto net = make(4);
+  net.kill(1);
+  net.kill(1);  // idempotent
+  EXPECT_FALSE(net.is_live(1));
+  EXPECT_EQ(net.live_count(), 3u);
+  net.revive(1);
+  EXPECT_TRUE(net.is_live(1));
+  EXPECT_EQ(net.live_count(), 4u);
+}
+
+TEST(Network, ReviveClearsView) {
+  auto net = make(3);
+  net.node(1).set_view(View{{0, 1}, {2, 2}});
+  net.kill(1);
+  net.revive(1);
+  EXPECT_TRUE(net.node(1).view().empty());
+}
+
+TEST(Network, LiveNodesListsAscendingSurvivors) {
+  auto net = make(5);
+  net.kill(0);
+  net.kill(3);
+  EXPECT_EQ(net.live_nodes(), (std::vector<NodeId>{1, 2, 4}));
+}
+
+TEST(Network, KillRandomKillsExactCount) {
+  auto net = make(50, 9);
+  Rng rng(4);
+  net.kill_random(20, rng);
+  EXPECT_EQ(net.live_count(), 30u);
+  EXPECT_THROW(net.kill_random(31, rng), std::logic_error);
+}
+
+TEST(Network, KillRandomIsUniformish) {
+  // Over many trials, each node should be killed roughly half the time.
+  std::vector<int> killed(10, 0);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto net = make(10, trial);
+    Rng rng(trial * 7 + 1);
+    net.kill_random(5, rng);
+    for (NodeId id = 0; id < 10; ++id) {
+      if (!net.is_live(id)) ++killed[id];
+    }
+  }
+  for (int k : killed) EXPECT_NEAR(k, 200, 60);
+}
+
+TEST(Network, CountDeadLinksOnlyCountsLiveViewsPointingAtDead) {
+  auto net = make(4);
+  net.node(0).set_view(View{{1, 1}, {2, 1}});
+  net.node(1).set_view(View{{2, 1}, {3, 1}});
+  net.node(2).set_view(View{{3, 1}});
+  EXPECT_EQ(net.count_dead_links(), 0u);
+  net.kill(2);
+  // node0 -> 2 (dead), node1 -> 2 (dead); node2's own view is ignored.
+  EXPECT_EQ(net.count_dead_links(), 2u);
+  net.kill(3);
+  // additionally node1 -> 3; dead node2's link to dead 3 not counted.
+  EXPECT_EQ(net.count_dead_links(), 3u);
+}
+
+TEST(Network, NodesInheritSpecAndOptions) {
+  Network net(ProtocolSpec::lpbcast(), ProtocolOptions{17, true}, 5);
+  const NodeId id = net.add_node();
+  EXPECT_EQ(net.node(id).spec(), ProtocolSpec::lpbcast());
+  EXPECT_EQ(net.node(id).options().view_size, 17u);
+  EXPECT_TRUE(net.node(id).options().remove_dead_on_failure);
+}
+
+TEST(Network, NodeRngsAreIndependent) {
+  auto net = make(2, 123);
+  // Two nodes with rand peer selection over the same view should not make
+  // identical choices forever (their RNG streams are split).
+  net.node(0).set_view(View{{2, 1}, {3, 1}, {4, 1}, {5, 1}});
+  net.node(1).set_view(View{{2, 1}, {3, 1}, {4, 1}, {5, 1}});
+  // Ensure enough extra nodes exist for addressing sanity.
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 30; ++i) {
+    pairs.insert({*net.node(0).select_peer(), *net.node(1).select_peer()});
+  }
+  EXPECT_GT(pairs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pss::sim

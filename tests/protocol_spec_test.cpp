@@ -1,0 +1,110 @@
+// Unit tests for the protocol design space: naming, parsing, known
+// instances, and the evaluated/excluded partition of Section 4.3.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pss/protocol/spec.hpp"
+
+namespace pss {
+namespace {
+
+TEST(ProtocolSpec, NamesMatchPaperNotation) {
+  EXPECT_EQ(ProtocolSpec::newscast().name(), "(rand,head,pushpull)");
+  EXPECT_EQ(ProtocolSpec::lpbcast().name(), "(rand,rand,push)");
+  ProtocolSpec s{PeerSelection::kTail, ViewSelection::kRand, ViewPropagation::kPull};
+  EXPECT_EQ(s.name(), "(tail,rand,pull)");
+}
+
+TEST(ProtocolSpec, PushPullFlags) {
+  ProtocolSpec push{PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPush};
+  EXPECT_TRUE(push.push());
+  EXPECT_FALSE(push.pull());
+  ProtocolSpec pull{PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPull};
+  EXPECT_FALSE(pull.push());
+  EXPECT_TRUE(pull.pull());
+  ProtocolSpec both = ProtocolSpec::newscast();
+  EXPECT_TRUE(both.push());
+  EXPECT_TRUE(both.pull());
+}
+
+TEST(ProtocolSpec, ParseRoundTripsAllVariants) {
+  for (const auto& spec : ProtocolSpec::all()) {
+    auto parsed = ProtocolSpec::parse(spec.name());
+    ASSERT_TRUE(parsed.has_value()) << spec.name();
+    EXPECT_EQ(*parsed, spec);
+  }
+}
+
+TEST(ProtocolSpec, ParseAcceptsLooseFormats) {
+  EXPECT_EQ(ProtocolSpec::parse("rand,head,pushpull"), ProtocolSpec::newscast());
+  EXPECT_EQ(ProtocolSpec::parse("( RAND , Head , PushPull )"),
+            ProtocolSpec::newscast());
+  EXPECT_EQ(ProtocolSpec::parse("newscast"), ProtocolSpec::newscast());
+  EXPECT_EQ(ProtocolSpec::parse("Lpbcast"), ProtocolSpec::lpbcast());
+}
+
+TEST(ProtocolSpec, ParseRejectsMalformed) {
+  EXPECT_FALSE(ProtocolSpec::parse("").has_value());
+  EXPECT_FALSE(ProtocolSpec::parse("rand,head").has_value());
+  EXPECT_FALSE(ProtocolSpec::parse("rand,head,pushpull,extra").has_value());
+  EXPECT_FALSE(ProtocolSpec::parse("bogus,head,push").has_value());
+  EXPECT_FALSE(ProtocolSpec::parse("rand,bogus,push").has_value());
+  EXPECT_FALSE(ProtocolSpec::parse("rand,head,bogus").has_value());
+}
+
+TEST(ProtocolSpec, AllEnumeratesTwentySevenDistinct) {
+  const auto all = ProtocolSpec::all();
+  EXPECT_EQ(all.size(), 27u);
+  std::set<std::string> names;
+  for (const auto& s : all) names.insert(s.name());
+  EXPECT_EQ(names.size(), 27u);
+}
+
+TEST(ProtocolSpec, EvaluatedMatchesSection43) {
+  const auto evaluated = ProtocolSpec::evaluated();
+  EXPECT_EQ(evaluated.size(), 8u);
+  for (const auto& s : evaluated) {
+    EXPECT_NE(s.peer_selection, PeerSelection::kHead) << s.name();
+    EXPECT_NE(s.view_selection, ViewSelection::kTail) << s.name();
+    EXPECT_NE(s.view_propagation, ViewPropagation::kPull) << s.name();
+  }
+}
+
+TEST(ProtocolSpec, EvaluatedPlusExcludedCoversAll) {
+  std::set<std::string> names;
+  for (const auto& s : ProtocolSpec::evaluated()) names.insert(s.name());
+  for (const auto& s : ProtocolSpec::excluded()) names.insert(s.name());
+  EXPECT_EQ(names.size(), 27u);
+  EXPECT_EQ(ProtocolSpec::evaluated().size() + ProtocolSpec::excluded().size(), 27u);
+}
+
+TEST(ProtocolSpec, KnownProtocolsAreEvaluated) {
+  const auto evaluated = ProtocolSpec::evaluated();
+  auto has = [&](const ProtocolSpec& s) {
+    return std::find(evaluated.begin(), evaluated.end(), s) != evaluated.end();
+  };
+  EXPECT_TRUE(has(ProtocolSpec::newscast()));
+  EXPECT_TRUE(has(ProtocolSpec::lpbcast()));
+}
+
+TEST(ProtocolSpec, ToStringCoversAllEnumerators) {
+  EXPECT_EQ(to_string(PeerSelection::kRand), "rand");
+  EXPECT_EQ(to_string(PeerSelection::kHead), "head");
+  EXPECT_EQ(to_string(PeerSelection::kTail), "tail");
+  EXPECT_EQ(to_string(ViewSelection::kRand), "rand");
+  EXPECT_EQ(to_string(ViewSelection::kHead), "head");
+  EXPECT_EQ(to_string(ViewSelection::kTail), "tail");
+  EXPECT_EQ(to_string(ViewPropagation::kPush), "push");
+  EXPECT_EQ(to_string(ViewPropagation::kPull), "pull");
+  EXPECT_EQ(to_string(ViewPropagation::kPushPull), "pushpull");
+}
+
+TEST(ProtocolOptions, Defaults) {
+  ProtocolOptions opts;
+  EXPECT_EQ(opts.view_size, 30u);  // paper's c
+  EXPECT_FALSE(opts.remove_dead_on_failure);
+}
+
+}  // namespace
+}  // namespace pss

@@ -1,0 +1,100 @@
+// Unit tests for the uniform random-view baseline graph and its analytic
+// expectations (the horizontal reference lines of Figures 2-3).
+#include <gtest/gtest.h>
+
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/random_graph.hpp"
+
+namespace pss::graph {
+namespace {
+
+TEST(RandomViewGraph, DegreeAtLeastC) {
+  // Every vertex has c out-links, so undirected degree >= c... only when
+  // out-links are distinct per vertex, which sample_indices guarantees.
+  Rng rng(1);
+  const auto g = random_view_graph(500, 12, rng);
+  for (std::uint32_t v = 0; v < 500; ++v) EXPECT_GE(g.degree(v), 12u);
+}
+
+TEST(RandomViewGraph, MeanDegreeMatchesClosedForm) {
+  Rng rng(2);
+  const std::size_t n = 3000, c = 20;
+  const auto g = random_view_graph(n, c, rng);
+  EXPECT_NEAR(average_degree(g), expected_random_view_degree(n, c), 0.25);
+}
+
+TEST(RandomViewGraph, SmallNClampsOutDegree) {
+  Rng rng(3);
+  const auto g = random_view_graph(5, 30, rng);
+  // c clamps to n-1=4: complete graph.
+  EXPECT_EQ(g.edge_count(), 10u);
+}
+
+TEST(RandomViewGraph, RejectsTrivialN) {
+  Rng rng(4);
+  EXPECT_THROW(random_view_graph(1, 3, rng), std::logic_error);
+}
+
+TEST(RandomViewGraph, IsAlmostSurelyConnected) {
+  // c = 12 out-links on 1000 vertices: far above the connectivity
+  // threshold; all seeds must give a single component.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const auto g = random_view_graph(1000, 12, rng);
+    EXPECT_TRUE(connected_components(g).connected()) << "seed " << seed;
+  }
+}
+
+TEST(RandomViewGraph, ClusteringNearExpectation) {
+  Rng rng(5);
+  const std::size_t n = 2000, c = 15;
+  const auto g = random_view_graph(n, c, rng);
+  const double expected = expected_random_view_clustering(n, c);
+  EXPECT_NEAR(clustering_coefficient(g), expected, expected);  // within 2x
+  EXPECT_LT(clustering_coefficient(g), 0.05);
+}
+
+TEST(RandomViewGraph, PathLengthNearLogApproximation) {
+  Rng rng(6);
+  const std::size_t n = 2000, c = 15;
+  const auto g = random_view_graph(n, c, rng);
+  Rng sample_rng(7);
+  const double measured = average_path_length_sampled(g, 100, sample_rng).average;
+  const double approx = expected_random_path_length(n, c);
+  // ln(n)/ln(d) is a rough approximation; agreement within 25% is the
+  // documented contract.
+  EXPECT_NEAR(measured, approx, 0.25 * approx);
+}
+
+TEST(RandomViewGraph, ExpectedDegreeFormulaSanity) {
+  // c << n: nearly 2c. c = n-1: exactly n-1 (complete graph).
+  EXPECT_NEAR(expected_random_view_degree(100000, 30), 60.0, 0.05);
+  EXPECT_DOUBLE_EQ(expected_random_view_degree(10, 9), 9.0);
+}
+
+TEST(RandomViewGraph, PaperScaleBaselineValues) {
+  // N = 10^4, c = 30 (paper parameters): mean degree just below 60 and
+  // clustering just below 0.006 — the horizontal lines in Figures 2-3.
+  const double d = expected_random_view_degree(10000, 30);
+  EXPECT_NEAR(d, 59.91, 0.01);
+  EXPECT_NEAR(expected_random_view_clustering(10000, 30), 0.005991, 0.00001);
+  // Path length approximation: ln(1e4)/ln(59.91) ~ 2.25.
+  EXPECT_NEAR(expected_random_path_length(10000, 30), 2.25, 0.05);
+}
+
+TEST(RandomViewGraph, DifferentSeedsDifferentGraphs) {
+  Rng r1(10), r2(11);
+  const auto g1 = random_view_graph(200, 5, r1);
+  const auto g2 = random_view_graph(200, 5, r2);
+  std::size_t common = 0, total = 0;
+  for (std::uint32_t v = 0; v < 200; ++v) {
+    for (auto w : g1.neighbors(v)) {
+      ++total;
+      if (g2.has_edge(v, w)) ++common;
+    }
+  }
+  EXPECT_LT(static_cast<double>(common) / static_cast<double>(total), 0.2);
+}
+
+}  // namespace
+}  // namespace pss::graph

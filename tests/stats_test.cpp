@@ -1,0 +1,189 @@
+// Unit tests for descriptive statistics, autocorrelation, and histograms
+// against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "pss/stats/autocorrelation.hpp"
+#include "pss/stats/descriptive.hpp"
+#include "pss/stats/histogram.hpp"
+
+namespace pss::stats {
+namespace {
+
+TEST(Accumulator, MeanAndVarianceKnownSeries) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance_population(), 4.0, 1e-12);
+  EXPECT_NEAR(acc.variance_sample(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev_population(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, DegenerateCases) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.variance_population(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance_sample(), 0.0);  // n-1 undefined -> 0
+}
+
+TEST(Accumulator, NumericallyStableOnLargeOffset) {
+  // Welford must not lose precision when values share a large offset.
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(1e9 + (i % 2));
+  EXPECT_NEAR(acc.variance_population(), 0.25, 1e-6);
+}
+
+TEST(FreeFunctions, MatchAccumulator) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance_population(xs), 2.0);
+  EXPECT_DOUBLE_EQ(variance_sample(xs), 2.5);
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance_sample, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> xs{1, 3, 2, 5, 4, 6};
+  const auto r = autocorrelation(xs, 3);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(Autocorrelation, AlternatingSeriesNegativeAtLagOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  const auto r = autocorrelation(xs, 4);
+  EXPECT_NEAR(r[1], -1.0, 0.05);
+  EXPECT_NEAR(r[2], 1.0, 0.05);
+  EXPECT_NEAR(r[3], -1.0, 0.05);
+}
+
+TEST(Autocorrelation, PeriodicSeriesPeaksAtPeriod) {
+  std::vector<double> xs;
+  for (int i = 0; i < 240; ++i) xs.push_back(std::sin(2 * M_PI * i / 12.0));
+  const auto r = autocorrelation(xs, 24);
+  EXPECT_GT(r[12], 0.9);   // full period
+  EXPECT_LT(r[6], -0.9);   // half period
+  EXPECT_GT(r[24], 0.85);  // two periods
+}
+
+TEST(Autocorrelation, WhiteNoiseStaysInsideBand) {
+  // A linear-congruential pseudo-noise series: nearly all lags must fall
+  // inside the 99% confidence band.
+  std::vector<double> xs;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    xs.push_back(static_cast<double>(state >> 40));
+  }
+  EXPECT_LT(autocorrelation_excess_fraction(xs, 50), 0.1);
+}
+
+TEST(Autocorrelation, ConstantSeriesConvention) {
+  const std::vector<double> xs(20, 3.0);
+  const auto r = autocorrelation(xs, 5);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  for (int lag = 1; lag <= 5; ++lag) EXPECT_DOUBLE_EQ(r[lag], 0.0);
+}
+
+TEST(Autocorrelation, PreconditionsEnforced) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(autocorrelation(xs, 3), std::logic_error);  // lag >= length
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(autocorrelation(one, 0), std::logic_error);
+}
+
+TEST(Autocorrelation, Confidence99Formula) {
+  EXPECT_NEAR(autocorrelation_confidence99(300), 2.5758 / std::sqrt(300.0), 1e-4);
+  EXPECT_THROW(autocorrelation_confidence99(0), std::logic_error);
+}
+
+TEST(Autocorrelation, StronglyCorrelatedSeriesExceedsBand) {
+  // Slow ramp: heavy positive autocorrelation at small lags.
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_GT(autocorrelation_excess_fraction(xs, 20), 0.9);
+}
+
+TEST(Histogram, AddAndCount) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  h.add(5);
+  h.add(5, 2);
+  h.add(9);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(5), 3u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(7), 0u);
+  EXPECT_EQ(h.min_value(), 5u);
+  EXPECT_EQ(h.max_value(), 9u);
+  EXPECT_DOUBLE_EQ(h.mean(), (5.0 * 3 + 9) / 4);
+}
+
+TEST(Histogram, FromSamplesAndPoints) {
+  const std::vector<std::size_t> samples{1, 2, 2, 3, 3, 3};
+  Histogram h(samples);
+  const auto pts = h.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0], (std::pair<std::size_t, std::size_t>{1, 1}));
+  EXPECT_EQ(pts[2], (std::pair<std::size_t, std::size_t>{3, 3}));
+}
+
+TEST(Histogram, EmptyHistogramGuards) {
+  Histogram h;
+  EXPECT_THROW(h.min_value(), std::logic_error);
+  EXPECT_THROW(h.max_value(), std::logic_error);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.log_binned(2.0).empty());
+}
+
+TEST(Histogram, LogBinningPreservesMass) {
+  Histogram h;
+  for (std::size_t v = 30; v <= 300; v += 7) h.add(v, v % 5 + 1);
+  std::size_t mass = 0;
+  for (const auto& [lower, count] : h.log_binned(1.3)) mass += count;
+  EXPECT_EQ(mass, h.total());
+}
+
+TEST(Histogram, LogBinningBoundsGrowGeometrically) {
+  Histogram h;
+  h.add(1);
+  h.add(1000);
+  const auto bins = h.log_binned(2.0);
+  ASSERT_GE(bins.size(), 2u);
+  for (std::size_t i = 1; i < bins.size(); ++i) {
+    EXPECT_GE(bins[i].first, bins[i - 1].first * 2 - 1);
+  }
+}
+
+TEST(Histogram, LogBinningRejectsBadFactor) {
+  Histogram h;
+  h.add(1);
+  EXPECT_THROW(h.log_binned(1.0), std::logic_error);
+}
+
+TEST(Histogram, PrintLoglogProducesBars) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add(30 + i % 20);
+  std::ostringstream os;
+  h.print_loglog(os, "degree distribution");
+  const auto out = os.str();
+  EXPECT_NE(out.find("degree distribution"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("n=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pss::stats

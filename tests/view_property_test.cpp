@@ -1,0 +1,220 @@
+// Algebraic property tests of the view algebra under randomized inputs.
+// These are the invariants the protocol's correctness silently leans on:
+// merge is commutative, associative and idempotent (a join semilattice on
+// (address -> min hop) maps), aging distributes over merge, and every
+// selection policy returns a correctly-sized sub-view.
+#include <gtest/gtest.h>
+
+#include "pss/common/rng.hpp"
+#include "pss/membership/view.hpp"
+
+namespace pss {
+namespace {
+
+View random_view(Rng& rng, std::size_t max_size, NodeId address_space = 40,
+                 HopCount max_hop = 12) {
+  std::vector<NodeDescriptor> entries;
+  const auto size = static_cast<std::size_t>(rng.below(max_size + 1));
+  for (std::size_t i = 0; i < size; ++i) {
+    entries.push_back({static_cast<NodeId>(rng.below(address_space)),
+                       static_cast<HopCount>(rng.below(max_hop))});
+  }
+  return View(std::move(entries));
+}
+
+TEST(ViewAlgebra, MergeCommutative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const View a = random_view(rng, 20);
+    const View b = random_view(rng, 20);
+    ASSERT_EQ(View::merge(a, b), View::merge(b, a)) << "trial " << trial;
+  }
+}
+
+TEST(ViewAlgebra, MergeAssociative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const View a = random_view(rng, 15);
+    const View b = random_view(rng, 15);
+    const View c = random_view(rng, 15);
+    ASSERT_EQ(View::merge(a, View::merge(b, c)), View::merge(View::merge(a, b), c))
+        << "trial " << trial;
+  }
+}
+
+TEST(ViewAlgebra, MergeIdempotent) {
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const View a = random_view(rng, 20);
+    ASSERT_EQ(View::merge(a, a), a) << "trial " << trial;
+  }
+}
+
+TEST(ViewAlgebra, MergeAbsorbsSubsets) {
+  // merge(a, select(a)) == a for every selection policy: selections are
+  // sub-views, so merging them back is a no-op.
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const View a = random_view(rng, 20);
+    ASSERT_EQ(View::merge(a, a.select_head(5)), a);
+    ASSERT_EQ(View::merge(a, a.select_tail(5)), a);
+    Rng pick_rng(trial);
+    ASSERT_EQ(View::merge(a, a.select_rand(5, pick_rng)), a);
+  }
+}
+
+TEST(ViewAlgebra, AgingDistributesOverMerge) {
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    View a = random_view(rng, 20);
+    View b = random_view(rng, 20);
+    View merged = View::merge(a, b);
+    merged.increase_hop_count();
+    a.increase_hop_count();
+    b.increase_hop_count();
+    ASSERT_EQ(merged, View::merge(a, b)) << "trial " << trial;
+  }
+}
+
+TEST(ViewAlgebra, MergeTakesMinimumHopPerAddress) {
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    const View a = random_view(rng, 20);
+    const View b = random_view(rng, 20);
+    const View m = View::merge(a, b);
+    for (const auto& d : m.entries()) {
+      HopCount expected = d.hop_count + 1;  // sentinel above any real value
+      if (a.contains(d.address)) expected = a.hop_count_of(d.address);
+      if (b.contains(d.address)) {
+        expected = std::min(expected, b.hop_count_of(d.address));
+      }
+      ASSERT_EQ(d.hop_count, expected);
+    }
+    // And no address is lost.
+    for (const auto& d : a.entries()) ASSERT_TRUE(m.contains(d.address));
+    for (const auto& d : b.entries()) ASSERT_TRUE(m.contains(d.address));
+  }
+}
+
+TEST(ViewAlgebra, SelectionsAreSubViewsOfRightSize) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const View a = random_view(rng, 25);
+    for (std::size_t c : {0ul, 1ul, 5ul, 25ul, 100ul}) {
+      const std::size_t expect = std::min(c, a.size());
+      Rng r1(trial), r2(trial + 1), r3(trial + 2), r4(trial + 3);
+      for (const View& sel :
+           {a.select_head(c), a.select_tail(c), a.select_rand(c, r1),
+            a.select_head_unbiased(c, r2), a.select_tail_unbiased(c, r3)}) {
+        ASSERT_EQ(sel.size(), expect);
+        ASSERT_NO_THROW(sel.validate());
+        for (const auto& d : sel.entries()) {
+          ASSERT_TRUE(a.contains(d.address));
+          ASSERT_EQ(a.hop_count_of(d.address), d.hop_count);
+        }
+      }
+    }
+  }
+}
+
+TEST(ViewAlgebra, HeadSelectionDominatesByHopCount) {
+  // Every entry kept by head selection is no older than every dropped one
+  // (and symmetrically for tail).
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const View a = random_view(rng, 25);
+    if (a.size() < 6) continue;
+    Rng sel_rng(trial);
+    const View head = a.select_head_unbiased(5, sel_rng);
+    const View tail = a.select_tail_unbiased(5, sel_rng);
+    HopCount max_kept_head = 0, min_kept_tail = ~HopCount{0};
+    for (const auto& d : head.entries())
+      max_kept_head = std::max(max_kept_head, d.hop_count);
+    for (const auto& d : tail.entries())
+      min_kept_tail = std::min(min_kept_tail, d.hop_count);
+    for (const auto& d : a.entries()) {
+      if (!head.contains(d.address)) {
+        ASSERT_GE(d.hop_count, max_kept_head);
+      }
+      if (!tail.contains(d.address)) {
+        ASSERT_LE(d.hop_count, min_kept_tail);
+      }
+    }
+  }
+}
+
+TEST(ViewAlgebra, UnbiasedSelectionKeepsStrictInteriorAlways) {
+  // Entries strictly fresher than the boundary hop must always survive
+  // head selection regardless of the RNG.
+  View v{{0, 1}, {1, 2}, {2, 3}, {3, 3}, {4, 3}, {5, 4}};
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const View sel = v.select_head_unbiased(3, rng);
+    ASSERT_TRUE(sel.contains(0));
+    ASSERT_TRUE(sel.contains(1));
+    // Third slot drawn from the hop-3 class.
+    std::size_t boundary = 0;
+    for (NodeId id : {2u, 3u, 4u}) boundary += sel.contains(id) ? 1 : 0;
+    ASSERT_EQ(boundary, 1u);
+    ASSERT_FALSE(sel.contains(5));
+  }
+}
+
+TEST(ViewAlgebra, UnbiasedBoundarySamplingIsUniform) {
+  View v{{0, 1}, {1, 2}, {2, 2}, {3, 2}, {4, 2}};
+  Rng rng(9);
+  int counts[5] = {};
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const View sel = v.select_head_unbiased(2, rng);
+    for (NodeId id = 1; id <= 4; ++id) {
+      if (sel.contains(id)) ++counts[id];
+    }
+  }
+  // Each of the four hop-2 entries fills the single boundary slot ~25%.
+  for (NodeId id = 1; id <= 4; ++id) {
+    EXPECT_NEAR(counts[id], kTrials / 4, kTrials / 4 * 0.15) << "id " << id;
+  }
+}
+
+TEST(ViewAlgebra, PeerTailUnbiasedUniformOverOldestClass) {
+  View v{{0, 1}, {1, 5}, {2, 5}, {3, 5}};
+  Rng rng(10);
+  int counts[4] = {};
+  constexpr int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) ++counts[v.peer_tail_unbiased(rng)];
+  EXPECT_EQ(counts[0], 0);
+  for (NodeId id = 1; id <= 3; ++id) {
+    EXPECT_NEAR(counts[id], kTrials / 3, kTrials / 3 * 0.15) << "id " << id;
+  }
+}
+
+TEST(ViewAlgebra, PeerHeadUnbiasedUniformOverFreshestClass) {
+  View v{{0, 2}, {1, 2}, {2, 2}, {3, 9}};
+  Rng rng(11);
+  int counts[4] = {};
+  constexpr int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) ++counts[v.peer_head_unbiased(rng)];
+  EXPECT_EQ(counts[3], 0);
+  for (NodeId id = 0; id <= 2; ++id) {
+    EXPECT_NEAR(counts[id], kTrials / 3, kTrials / 3 * 0.15) << "id " << id;
+  }
+}
+
+TEST(ViewAlgebra, EraseInsertRoundTrip) {
+  Rng rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    View a = random_view(rng, 20);
+    if (a.empty()) continue;
+    const auto victim = a.at(rng.below(a.size())).address;
+    const HopCount hop = a.hop_count_of(victim);
+    View b = a;
+    ASSERT_TRUE(b.erase(victim));
+    ASSERT_FALSE(b.contains(victim));
+    ASSERT_TRUE(b.insert({victim, hop}));
+    ASSERT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace pss
