@@ -40,6 +40,7 @@ class PeerSamplingService {
   /// "if this has not been done before" clause of the specification.
   void init(std::span<const NodeId> contacts);
 
+  /// True once init() has seeded the view from bootstrap contacts.
   bool initialized() const { return initialized_; }
 
   /// getPeer(): one sampled peer address, or kInvalidNode when the node

@@ -30,6 +30,7 @@ struct EngineStats {
 
 class CycleEngine {
  public:
+  /// `network` must outlive the engine; the engine stores a reference only.
   explicit CycleEngine(Network& network) : network_(&network) {}
 
   /// Runs one cycle: permutes live nodes, fires each active thread once.
@@ -41,6 +42,7 @@ class CycleEngine {
   /// Number of cycles executed so far.
   Cycle cycle() const { return cycle_; }
 
+  /// Aggregate counters since construction.
   const EngineStats& stats() const { return stats_; }
 
  private:

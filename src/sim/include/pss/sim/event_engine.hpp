@@ -35,17 +35,20 @@ struct EventEngineConfig {
   double reply_timeout = 0.5;     ///< pull reply validity window
 };
 
+/// Aggregate counters over the whole run.
 struct EventEngineStats {
-  std::uint64_t wakeups = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t messages_dropped = 0;
-  std::uint64_t messages_to_dead = 0;
-  std::uint64_t replies_delivered = 0;
-  std::uint64_t replies_stale = 0;  ///< late or superseded pull replies
+  std::uint64_t wakeups = 0;            ///< active-thread firings
+  std::uint64_t messages_sent = 0;      ///< requests + replies put on the wire
+  std::uint64_t messages_dropped = 0;   ///< lost to drop_probability
+  std::uint64_t messages_to_dead = 0;   ///< addressed to a dead node
+  std::uint64_t replies_delivered = 0;  ///< pull replies accepted in time
+  std::uint64_t replies_stale = 0;      ///< late or superseded pull replies
 };
 
 class EventEngine {
  public:
+  /// Schedules an initial wake-up for every live node at a uniform random
+  /// phase in [0, period). `network` must outlive the engine.
   EventEngine(Network& network, EventEngineConfig config);
 
   /// Processes all events with timestamp <= until (exclusive of later ones).
@@ -56,7 +59,10 @@ class EventEngine {
     run_until(now_ + static_cast<double>(cycles) * config_.period);
   }
 
+  /// Current simulated time; run_until(t) leaves it at t.
   double now() const { return now_; }
+
+  /// Aggregate counters since construction.
   const EventEngineStats& stats() const { return stats_; }
 
  private:
