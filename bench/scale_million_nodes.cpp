@@ -1,0 +1,170 @@
+// Scale driver for the flat simulation core: cycles/second and bytes/node
+// at N ∈ {10^4, 10^5, 10^6}.
+//
+// This is not a paper figure — the paper's experiments stop at 10^4–10^5
+// nodes — but the ROADMAP's first recorded perf trajectory toward
+// production scale. It stands up a Newscast network (the paper's flagship
+// (rand,head,pushpull) instance, c = 30), random-bootstraps it, runs 20
+// cycles through the batched CycleEngine and reports wall-clock throughput
+// plus the memory footprint of the arena, appending machine-readable
+// results to BENCH_scale.json.
+//
+// Knobs (see docs/PERFORMANCE.md):
+//   PSS_SCALE_NS   comma-separated network sizes   (default 10000,100000,1000000)
+//   PSS_CYCLES     cycles per run                  (default 20)
+//   PSS_C          view size c                     (default 30)
+//   PSS_SEED       master seed                     (default 42)
+//   PSS_SCALE_JSON output path                     (default BENCH_scale.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pss/common/env.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+#include "pss/sim/network.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) {
+      // Whole-token decimal only: reject partial parses ("1e6", "10k")
+      // instead of silently truncating them to a tiny network.
+      std::size_t consumed = 0;
+      unsigned long long value = 0;
+      try {
+        value = std::stoull(token, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != token.size() || value == 0) {
+        std::fprintf(stderr,
+                     "PSS_SCALE_NS: bad network size '%s' (want a "
+                     "comma-separated list of positive integers)\n",
+                     token.c_str());
+        std::exit(1);
+      }
+      out.push_back(static_cast<std::size_t>(value));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct RunResult {
+  std::size_t n = 0;
+  double setup_seconds = 0;
+  double run_seconds = 0;
+  double cycles_per_second = 0;
+  double exchanges_per_second = 0;
+  double bytes_per_node = 0;
+  double mean_view_size = 0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t failed_contacts = 0;
+  std::uint64_t empty_views = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pss;
+
+  const auto sizes = parse_sizes(
+      env::get("PSS_SCALE_NS").value_or("10000,100000,1000000"));
+  const auto cycles = static_cast<Cycle>(env::get_int("PSS_CYCLES", 20));
+  const auto c = static_cast<std::size_t>(env::get_int("PSS_C", 30));
+  const auto seed = static_cast<std::uint64_t>(env::get_int("PSS_SEED", 42));
+  const std::string out_path =
+      env::get("PSS_SCALE_JSON").value_or("BENCH_scale.json");
+
+  const ProtocolSpec spec = ProtocolSpec::newscast();
+  std::vector<RunResult> results;
+
+  std::printf("scale_million_nodes: spec=%s c=%zu cycles=%u seed=%llu\n",
+              spec.name().c_str(), c, cycles,
+              static_cast<unsigned long long>(seed));
+
+  for (const std::size_t n : sizes) {
+    RunResult r;
+    r.n = n;
+
+    const auto t_setup = Clock::now();
+    sim::Network net(spec, ProtocolOptions{c, false}, seed);
+    net.reserve_nodes(n);
+    net.add_nodes(n);
+    sim::bootstrap::init_random(net);
+    r.setup_seconds = seconds_since(t_setup);
+
+    sim::CycleEngine engine(net);
+    const auto t_run = Clock::now();
+    engine.run(cycles);
+    r.run_seconds = seconds_since(t_run);
+
+    const auto& stats = engine.stats();
+    r.exchanges = stats.exchanges;
+    r.failed_contacts = stats.failed_contacts;
+    r.empty_views = stats.empty_views;
+    r.cycles_per_second = cycles / r.run_seconds;
+    r.exchanges_per_second = static_cast<double>(stats.exchanges) / r.run_seconds;
+    r.bytes_per_node = static_cast<double>(net.resident_bytes()) /
+                       static_cast<double>(n);
+    std::uint64_t total_view = 0;
+    for (NodeId id = 0; id < n; ++id) total_view += net.view_span(id).size();
+    r.mean_view_size = static_cast<double>(total_view) / static_cast<double>(n);
+
+    std::printf(
+        "  n=%-8zu setup=%6.2fs run=%6.2fs  %8.2f cycles/s  %10.0f exch/s  "
+        "%6.1f B/node  mean_view=%.2f\n",
+        n, r.setup_seconds, r.run_seconds, r.cycles_per_second,
+        r.exchanges_per_second, r.bytes_per_node, r.mean_view_size);
+    results.push_back(r);
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"scale_million_nodes\",\n"
+       << "  \"spec\": \"" << spec.name() << "\",\n"
+       << "  \"view_size\": " << c << ",\n"
+       << "  \"cycles\": " << cycles << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\n"
+         << "      \"n\": " << r.n << ",\n"
+         << "      \"setup_seconds\": " << r.setup_seconds << ",\n"
+         << "      \"run_seconds\": " << r.run_seconds << ",\n"
+         << "      \"cycles_per_second\": " << r.cycles_per_second << ",\n"
+         << "      \"exchanges_per_second\": " << r.exchanges_per_second
+         << ",\n"
+         << "      \"bytes_per_node\": " << r.bytes_per_node << ",\n"
+         << "      \"mean_view_size\": " << r.mean_view_size << ",\n"
+         << "      \"exchanges\": " << r.exchanges << ",\n"
+         << "      \"failed_contacts\": " << r.failed_contacts << ",\n"
+         << "      \"empty_views\": " << r.empty_views << "\n"
+         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

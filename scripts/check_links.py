@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo point at existing files.
+
+Scans every tracked *.md file for [text](target) links, resolves relative
+targets against the file's directory, and fails with a listing of broken
+ones. External links (http/https/mailto) and pure intra-page anchors are
+skipped; a '#fragment' suffix on a relative link is ignored for existence
+checking. No dependencies beyond the standard library.
+
+Usage: python3 scripts/check_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — skips images' leading '!' capture-wise (same syntax) and
+# tolerates titles: [text](target "title").
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "build", ".cache"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), match.group(1)))
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for source, target in broken:
+            print(f"  {source}: {target}")
+        return 1
+    print(f"all {checked} relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,12 +29,37 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
-  /// Next raw 64-bit value.
-  result_type operator()();
+  /// Next raw 64-bit value. Inline: the per-exchange hot loops draw
+  /// millions of values and the xoshiro step is a handful of ALU ops.
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). Precondition: bound > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
-  std::uint64_t below(std::uint64_t bound);
+  std::uint64_t below(std::uint64_t bound) {
+    PSS_DCHECK(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) [[unlikely]] {
+      const std::uint64_t t = -bound % bound;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
   std::int64_t between(std::int64_t lo, std::int64_t hi);
@@ -60,11 +85,58 @@ class Rng {
   /// is large relative to n, and rejection sampling when k << n.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// Allocation-free variant of sample_indices for hot loops: writes the k
+  /// indices into `out` and uses `scratch` for the Fisher–Yates index table,
+  /// reusing both vectors' capacity across calls. Draws the exact same
+  /// random sequence as sample_indices (which delegates here), so the two
+  /// are interchangeable without perturbing seeded experiments. Inline for
+  /// the per-exchange view-selection path.
+  void sample_indices_into(std::size_t n, std::size_t k,
+                           std::vector<std::size_t>& out,
+                           std::vector<std::size_t>& scratch) {
+    PSS_CHECK_MSG(k <= n, "cannot sample more indices than the population size");
+    out.clear();
+    out.reserve(k);
+    if (k == 0) return;
+    if (k * 3 >= n) {
+      scratch.resize(n);
+      for (std::size_t i = 0; i < n; ++i) scratch[i] = i;
+      // Partial Fisher–Yates: the first k slots end up uniformly sampled.
+      for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + static_cast<std::size_t>(below(n - i));
+        std::swap(scratch[i], scratch[j]);
+      }
+      out.assign(scratch.begin(),
+                 scratch.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      // Rejection sampling; k << n, so the linear duplicate scan over at
+      // most k accepted values is cheap and needs no hash-set allocation.
+      // Accepts and rejects exactly the candidates the historical
+      // std::unordered_set-based implementation did, keeping the draw
+      // sequence seed-stable.
+      while (out.size() < k) {
+        std::size_t candidate = static_cast<std::size_t>(below(n));
+        bool duplicate = false;
+        for (std::size_t v : out) {
+          if (v == candidate) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) out.push_back(candidate);
+      }
+    }
+  }
+
   /// Derives an independent child generator; child sequences are decorrelated
   /// from the parent and from each other by SplitMix64 remixing.
   Rng split();
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

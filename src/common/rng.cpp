@@ -1,7 +1,5 @@
 #include "pss/common/rng.hpp"
 
-#include <unordered_set>
-
 namespace pss {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -11,44 +9,9 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
-}
-
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) {
-  PSS_DCHECK(bound > 0);
-  // Lemire's nearly-divisionless unbiased bounded sampling.
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
-  auto l = static_cast<std::uint64_t>(m);
-  if (l < bound) {
-    const std::uint64_t t = -bound % bound;
-    while (l < t) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
 }
 
 std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
@@ -69,27 +32,9 @@ bool Rng::chance(double p) {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
-  PSS_CHECK_MSG(k <= n, "cannot sample more indices than the population size");
   std::vector<std::size_t> out;
-  out.reserve(k);
-  if (k == 0) return out;
-  if (k * 3 >= n) {
-    std::vector<std::size_t> idx(n);
-    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
-    // Partial Fisher–Yates: the first k slots end up uniformly sampled.
-    for (std::size_t i = 0; i < k; ++i) {
-      std::size_t j = i + static_cast<std::size_t>(below(n - i));
-      std::swap(idx[i], idx[j]);
-    }
-    out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
-  } else {
-    std::unordered_set<std::size_t> seen;
-    seen.reserve(k * 2);
-    while (out.size() < k) {
-      std::size_t candidate = static_cast<std::size_t>(below(n));
-      if (seen.insert(candidate).second) out.push_back(candidate);
-    }
-  }
+  std::vector<std::size_t> scratch;
+  sample_indices_into(n, k, out, scratch);
   return out;
 }
 

@@ -51,7 +51,8 @@ UndirectedGraph UndirectedGraph::from_network(const sim::Network& network) {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   edges.reserve(n * network.options().view_size);
   for (std::uint32_t v = 0; v < n; ++v) {
-    for (const auto& d : network.node(live[v]).view().entries()) {
+    // Straight from the arena: no per-node View materialization.
+    for (const auto& d : network.view_span(live[v])) {
       const std::uint32_t w =
           d.address < g.vertex_of_.size() ? g.vertex_of_[d.address] : kNoVertex;
       if (w != kNoVertex) edges.emplace_back(v, w);

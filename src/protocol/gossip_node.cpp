@@ -1,91 +1,115 @@
 #include "pss/protocol/gossip_node.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "pss/common/check.hpp"
+#include "pss/protocol/flat_exchange.hpp"
 
 namespace pss {
 
 GossipNode::GossipNode(NodeId self, ProtocolSpec spec, ProtocolOptions options,
                        Rng rng)
-    : self_(self), spec_(spec), options_(options), rng_(rng) {
+    : self_(self), slot_(0), spec_(spec), options_(options) {
   PSS_CHECK_MSG(options_.view_size > 0, "view size c must be positive");
+  owned_ = std::make_unique<flat::NodeArena>(options_.view_size);
+  owned_->add_node(rng);
+  arena_ = owned_.get();
+}
+
+GossipNode::GossipNode(NodeId self, ProtocolSpec spec, ProtocolOptions options,
+                       flat::NodeArena* arena, NodeId slot)
+    : self_(self), slot_(slot), spec_(spec), options_(options), arena_(arena) {
+  PSS_CHECK_MSG(options_.view_size > 0, "view size c must be positive");
+  PSS_CHECK_MSG(arena_ != nullptr && slot_ < arena_->node_count(),
+                "adapter slot out of arena range");
+}
+
+GossipNode::GossipNode(const GossipNode& other)
+    : self_(other.self_),
+      slot_(0),
+      spec_(other.spec_),
+      options_(other.options_),
+      owned_(std::make_unique<flat::NodeArena>(
+          other.arena_->views.view_capacity())) {
+  // A copy is always an independent standalone node — the legacy value
+  // semantics — even when the source is a window into a network arena:
+  // its view, rng stream and counters are snapshotted into a private
+  // single-slot arena, so mutating the copy never touches the network.
+  owned_->add_node(other.arena_->rngs[other.slot_]);
+  owned_->stats[0] = other.arena_->stats[other.slot_];
+  owned_->views.assign(0, other.arena_->views.view_of(other.slot_));
+  arena_ = owned_.get();
+}
+
+GossipNode& GossipNode::operator=(const GossipNode& other) {
+  if (this == &other) return *this;
+  GossipNode copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+const View& GossipNode::view() const {
+  const std::uint64_t version = arena_->views.version(slot_);
+  if (cache_version_ != version) {
+    auto span = arena_->views.view_of(slot_);
+    cache_ = View(std::vector<NodeDescriptor>(span.begin(), span.end()));
+    cache_version_ = version;
+  }
+  return cache_;
 }
 
 void GossipNode::init_view(const View& bootstrap) {
-  View v = bootstrap;
-  v.remove(self_);
-  view_ = v.select_head(options_.view_size);
+  std::vector<NodeDescriptor> buf(bootstrap.entries());
+  flat::remove_address(buf, self_);
+  flat::select_head(buf, options_.view_size);
+  arena_->views.assign(slot_, buf);
 }
 
 void GossipNode::set_view(View v) {
   v.remove(self_);
-  view_ = std::move(v);
+  arena_->views.assign(slot_, v.entries());
 }
 
 std::optional<NodeId> GossipNode::select_peer() {
-  if (view_.empty()) return std::nullopt;
-  switch (spec_.peer_selection) {
-    case PeerSelection::kRand: return view_.peer_rand(rng_);
-    case PeerSelection::kHead:
-      // Deliberately deterministic (first element of the ordered view):
-      // concentrating contact on the perceived-freshest node is exactly the
-      // herding behaviour that makes the paper exclude (head,*,*) for
-      // "severe clustering" (Section 4.3). See DESIGN.md on tie semantics.
-      return view_.peer_head();
-    case PeerSelection::kTail:
-      // Unbiased within the oldest hop class: the evaluated (tail,*,*)
-      // protocols are stable in the paper, and only tie-unbiased selection
-      // reproduces that (a deterministic tie-break herds the whole network
-      // onto one victim node and partitions the growing overlay).
-      return view_.peer_tail_unbiased(rng_);
-  }
-  return std::nullopt;
+  return flat::select_peer(view_span(), spec_.peer_selection, rng());
 }
 
 View GossipNode::make_active_buffer() const {
-  if (!spec_.push()) return View{};  // empty view triggers the pull reply
-  return View::merge(view_, View{{self_, 0}});
-}
-
-void GossipNode::absorb(const View& aged_incoming) {
-  View buffer = View::merge(aged_incoming, view_);
-  buffer.remove(self_);
-  switch (spec_.view_selection) {
-    case ViewSelection::kRand:
-      view_ = buffer.select_rand(options_.view_size, rng_);
-      break;
-    case ViewSelection::kHead:
-      view_ = buffer.select_head_unbiased(options_.view_size, rng_);
-      break;
-    case ViewSelection::kTail:
-      view_ = buffer.select_tail_unbiased(options_.view_size, rng_);
-      break;
-  }
+  std::vector<NodeDescriptor> out;
+  flat::make_active_buffer(view_span(), self_, spec_.push(), out);
+  return View(std::move(out));
 }
 
 std::optional<View> GossipNode::handle_message(const View& incoming) {
-  ++stats_.received;
-  View aged = incoming;
-  aged.increase_hop_count();
+  ++mutable_stats().received;
+  std::vector<NodeDescriptor> aged(incoming.entries());
+  flat::age_in_place(aged);
   std::optional<View> reply;
   if (spec_.pull()) {
     // Reply is built from the pre-merge view, exactly as in Figure 1(b).
-    reply = View::merge(view_, View{{self_, 0}});
-    ++stats_.replies_sent;
+    std::vector<NodeDescriptor> out;
+    flat::make_active_buffer(view_span(), self_, /*push=*/true, out);
+    reply = View(std::move(out));
+    ++mutable_stats().replies_sent;
   }
-  absorb(aged);
+  flat::Scratch scratch;
+  flat::absorb(arena_->views, slot_, self_, spec_, options_, aged, rng(),
+               scratch);
   return reply;
 }
 
 void GossipNode::handle_reply(const View& reply) {
   PSS_DCHECK(spec_.pull());
-  View aged = reply;
-  aged.increase_hop_count();
-  absorb(aged);
+  std::vector<NodeDescriptor> aged(reply.entries());
+  flat::age_in_place(aged);
+  flat::Scratch scratch;
+  flat::absorb(arena_->views, slot_, self_, spec_, options_, aged, rng(),
+               scratch);
 }
 
 void GossipNode::on_contact_failure(NodeId peer) {
-  ++stats_.contact_failures;
-  if (options_.remove_dead_on_failure) view_.erase(peer);
+  flat::contact_failure(*arena_, slot_, peer, options_);
 }
 
 }  // namespace pss

@@ -1,0 +1,124 @@
+// Figure-1 exchange mechanics over flat storage.
+//
+// These free functions are the single implementation of the gossip skeleton
+// shared by both execution surfaces:
+//   - CycleEngine calls them directly on the network's NodeArena with a
+//     persistent Scratch — the batched, allocation-free hot path;
+//   - GossipNode's handler methods call the same functions on its own slot,
+//     preserving the legacy message-level API for the event engine, the
+//     service layer and the tests.
+// Because both paths run this code, the adapter and the engine cannot
+// diverge; equivalence with the original View-based node logic is pinned by
+// the randomized traces in tests/flat_view_store_test.cpp. Defined inline
+// for the same reason as flat_ops.hpp: these run tens of millions of times
+// per scale run.
+//
+// Policy vs mechanism: everything here is mechanism. The H/S design-space
+// knobs (peer selection, view selection, propagation, view size) arrive as
+// ProtocolSpec/ProtocolOptions values and are only ever dispatched on —
+// adding a policy means touching spec.hpp and the two switches below,
+// nothing else (see docs/ARCHITECTURE.md).
+#pragma once
+
+#include <optional>
+
+#include "pss/membership/flat_ops.hpp"
+#include "pss/protocol/node_arena.hpp"
+#include "pss/protocol/spec.hpp"
+
+namespace pss::flat {
+
+/// selectPeer() on a normalized view span. Returns nullopt when the view is
+/// empty. Dispatches to the same per-policy routines (deterministic head,
+/// tie-unbiased tail) as GossipNode always has; see gossip_node.hpp for why
+/// head stays deterministic.
+inline std::optional<NodeId> select_peer(DescSpan view, PeerSelection policy,
+                                         Rng& rng) {
+  if (view.empty()) return std::nullopt;
+  switch (policy) {
+    case PeerSelection::kRand:
+      return peer_rand(view, rng);
+    case PeerSelection::kHead:
+      // Deliberately deterministic; see the rationale in gossip_node.hpp
+      // (herding is exactly why the paper excludes (head,*,*)).
+      return peer_head(view);
+    case PeerSelection::kTail:
+      return peer_tail_unbiased(view, rng);
+  }
+  return std::nullopt;
+}
+
+/// Buffer the active thread sends: merge(view, {self, 0}) when pushing, the
+/// empty buffer otherwise. `out` is overwritten.
+inline void make_active_buffer(DescSpan view, NodeId self, bool push,
+                               std::vector<NodeDescriptor>& out) {
+  out.clear();
+  if (!push) return;  // empty buffer triggers the pull reply
+  out.assign(view.begin(), view.end());
+  insert_self(out, self);
+}
+
+/// merge + drop-self + selectView on one slot: the shared tail of both
+/// Figure-1 handlers. `aged_incoming` must already be aged by the caller
+/// and must not alias scratch.merged/sel.
+inline void absorb(FlatViewStore& store, NodeId slot, NodeId self,
+                   const ProtocolSpec& spec, const ProtocolOptions& options,
+                   DescSpan aged_incoming, Rng& rng, Scratch& scratch) {
+  merge_into(aged_incoming, store.view_of(slot), scratch.merged, scratch);
+  remove_address(scratch.merged, self);
+  switch (spec.view_selection) {
+    case ViewSelection::kRand:
+      select_rand(scratch.merged, options.view_size, rng, scratch);
+      break;
+    case ViewSelection::kHead:
+      select_head_unbiased(scratch.merged, options.view_size, rng, scratch);
+      break;
+    case ViewSelection::kTail:
+      select_tail_unbiased(scratch.merged, options.view_size, rng, scratch);
+      break;
+  }
+  store.assign(slot, scratch.merged);
+}
+
+/// Engine hook for a contact that hit a dead or unreachable peer: counts
+/// the failure and applies the remove_dead_on_failure extension.
+inline void contact_failure(NodeArena& arena, NodeId node, NodeId peer,
+                            const ProtocolOptions& options) {
+  ++arena.stats[node].contact_failures;
+  if (options.remove_dead_on_failure) arena.views.erase_address(node, peer);
+}
+
+/// One complete atomic exchange between two live, reachable nodes — the
+/// cycle engine's fast path. Mirrors exactly the legacy sequence
+///   buffer = active.make_active_buffer();
+///   reply  = passive.handle_message(buffer);
+///   if (pull) active.handle_reply(*reply);
+/// including the order of stats updates and Rng consumption. The caller has
+/// already aged the active view, selected `passive` and checked liveness.
+inline void run_exchange(NodeArena& arena, NodeId active, NodeId passive,
+                         const ProtocolSpec& spec,
+                         const ProtocolOptions& options, Scratch& scratch) {
+  FlatViewStore& store = arena.views;
+  make_active_buffer(store.view_of(active), active, spec.push(),
+                     scratch.buffer);
+  // Passive thread (handle_message): age the incoming buffer, build the
+  // pull reply from the pre-merge view, then merge and select.
+  ++arena.stats[passive].received;
+  age_in_place(scratch.buffer);
+  const bool pull = spec.pull();
+  if (pull) {
+    make_active_buffer(store.view_of(passive), passive, /*push=*/true,
+                       scratch.reply);
+    ++arena.stats[passive].replies_sent;
+  }
+  absorb(store, passive, passive, spec, options, scratch.buffer,
+         arena.rngs[passive], scratch);
+  // Active thread tail (handle_reply): age the reply, merge and select.
+  if (pull) {
+    age_in_place(scratch.reply);
+    absorb(store, active, active, spec, options, scratch.reply,
+           arena.rngs[active], scratch);
+  }
+}
+
+}  // namespace pss::flat

@@ -33,38 +33,68 @@
 //     of the authors' Newscast implementation [Jelasity, Kowalczyk, van
 //     Steen, 2003] and of the journal version of this paper (TOCS 2007,
 //     "view.increaseAge()"), so hop count = age in cycles + hops travelled.
+//
+// Storage: since the flat-core refactor, a GossipNode is an adapter over
+// one slot of a flat::NodeArena rather than the owner of a heap-allocated
+// View. Attached to sim::Network's arena it is a thin window whose state
+// lives in the network's structs-of-arrays; constructed standalone (tests,
+// DualViewNode) it owns a private single-slot arena. The protocol mechanics
+// are the shared flat_exchange/flat_ops routines either way, so this class
+// is pure API surface — the paper's semantics, including per-policy Rng
+// consumption, are identical through both the adapter and the batched
+// engine (pinned by tests/flat_view_store_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
 #include "pss/membership/view.hpp"
+#include "pss/protocol/node_arena.hpp"
 #include "pss/protocol/spec.hpp"
 
 namespace pss {
 
-/// Per-node exchange counters, useful for cost accounting in benches.
-struct NodeStats {
-  std::uint64_t initiated = 0;        ///< active-thread wake-ups with a peer
-  std::uint64_t received = 0;         ///< passive-thread messages handled
-  std::uint64_t replies_sent = 0;     ///< pull replies produced
-  std::uint64_t contact_failures = 0; ///< exchanges that hit a dead peer
-};
-
 /// One protocol participant: a partial view plus the Figure-1 handlers.
 class GossipNode {
  public:
-  /// `rng` drives this node's random choices (peer/view selection); derive
-  /// it from the experiment master seed for reproducibility.
+  /// Standalone node owning its backing storage. `rng` drives this node's
+  /// random choices (peer/view selection); derive it from the experiment
+  /// master seed for reproducibility.
   GossipNode(NodeId self, ProtocolSpec spec, ProtocolOptions options, Rng rng);
+
+  /// Adapter over slot `slot` of `arena`, which must outlive the node and
+  /// already contain the slot (sim::Network appends the slot, then the
+  /// adapter). The arena's spec/options uniformity is the caller's
+  /// invariant.
+  GossipNode(NodeId self, ProtocolSpec spec, ProtocolOptions options,
+             flat::NodeArena* arena, NodeId slot);
+
+  /// Copies are always independent standalone nodes (legacy value
+  /// semantics): even when the source is attached to a network arena, the
+  /// copy snapshots its view/rng/stats into a private single-slot arena.
+  GossipNode(const GossipNode& other);
+  GossipNode& operator=(const GossipNode& other);
+  GossipNode(GossipNode&&) noexcept = default;
+  GossipNode& operator=(GossipNode&&) noexcept = default;
 
   NodeId self() const { return self_; }
   const ProtocolSpec& spec() const { return spec_; }
   const ProtocolOptions& options() const { return options_; }
-  const View& view() const { return view_; }
-  const NodeStats& stats() const { return stats_; }
+  const NodeStats& stats() const { return arena_->stats[slot_]; }
+
+  /// The node's current view, materialized from the flat slot and cached
+  /// until the slot changes. Inspection-path only — the engines never call
+  /// this.
+  const View& view() const;
+
+  /// Zero-copy access to the flat slot (sorted, duplicate-free entries).
+  std::span<const NodeDescriptor> view_span() const {
+    return arena_->views.view_of(slot_);
+  }
 
   /// init() of the peer sampling API: seeds the view with bootstrap
   /// descriptors (hop count 0), dropping any descriptor of the node itself
@@ -74,7 +104,7 @@ class GossipNode {
   /// Ages every stored descriptor by one hop. Engines call this exactly
   /// once per cycle, when this node's active thread fires (see deviation 2
   /// in the header comment).
-  void age_view() { view_.increase_hop_count(); }
+  void age_view() { arena_->views.age(slot_); }
 
   /// selectPeer(): applies the peer-selection policy to the current view.
   /// Returns nullopt when the view is empty (nothing to gossip with).
@@ -98,21 +128,28 @@ class GossipNode {
   void on_contact_failure(NodeId peer);
 
   /// Engine bookkeeping hook: counts an initiated exchange.
-  void note_initiated() { ++stats_.initiated; }
+  void note_initiated() { ++arena_->stats[slot_].initiated; }
 
-  /// Direct view replacement for bootstrap drivers and tests.
+  /// Direct view replacement for bootstrap drivers and tests. The flat
+  /// slot enforces size <= c (invariant I3), which every in-repo caller
+  /// already satisfied.
   void set_view(View v);
 
  private:
-  /// merge + drop-self + selectView, shared by both handlers.
-  void absorb(const View& aged_incoming);
+  Rng& rng() { return arena_->rngs[slot_]; }
+  NodeStats& mutable_stats() { return arena_->stats[slot_]; }
 
   NodeId self_;
+  NodeId slot_;
   ProtocolSpec spec_;
   ProtocolOptions options_;
-  Rng rng_;
-  View view_;
-  NodeStats stats_;
+  std::unique_ptr<flat::NodeArena> owned_;  ///< standalone mode backing
+  flat::NodeArena* arena_;                  ///< owned_.get() or the network's
+
+  /// Sentinel: "cache never built" (store versions start at 1).
+  static constexpr std::uint64_t kNeverCached = ~std::uint64_t{0};
+  mutable View cache_;
+  mutable std::uint64_t cache_version_ = kNeverCached;
 };
 
 }  // namespace pss

@@ -1,0 +1,73 @@
+// Structs-of-arrays arena for gossip node state.
+//
+// A simulated node is three pieces of state: a partial view, an Rng stream
+// and exchange counters. The legacy layout bundled them into one GossipNode
+// object per node; NodeArena splits them into parallel arrays (a
+// FlatViewStore plus two flat vectors) so the cycle engine walks contiguous
+// memory and the whole network's state is a handful of allocations.
+//
+// Slot i of every array belongs to the same node; the arena assumes a
+// homogeneous network (one ProtocolSpec/ProtocolOptions for all slots,
+// owned by the caller — sim::Network — exactly as before). GossipNode
+// remains the API for one node: attached to an arena slot it is a thin
+// window; constructed standalone it owns a private single-slot arena.
+// Either way the mechanics live here and in flat_exchange / flat_ops, so
+// the engine fast path and the adapter path cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/membership/flat_view_store.hpp"
+
+namespace pss {
+
+/// Per-node exchange counters, useful for cost accounting in benches.
+struct NodeStats {
+  std::uint64_t initiated = 0;        ///< active-thread wake-ups with a peer
+  std::uint64_t received = 0;         ///< passive-thread messages handled
+  std::uint64_t replies_sent = 0;     ///< pull replies produced
+  std::uint64_t contact_failures = 0; ///< exchanges that hit a dead peer
+};
+
+namespace flat {
+
+struct NodeArena {
+  FlatViewStore views;
+  std::vector<Rng> rngs;
+  std::vector<NodeStats> stats;
+
+  explicit NodeArena(std::size_t view_capacity) : views(view_capacity) {}
+
+  std::size_t node_count() const { return stats.size(); }
+
+  void reserve(std::size_t n) {
+    views.reserve_nodes(n);
+    rngs.reserve(n);
+    stats.reserve(n);
+  }
+
+  /// Appends a node with an empty view; returns its slot index.
+  NodeId add_node(Rng rng) {
+    rngs.push_back(rng);
+    stats.emplace_back();
+    return views.add_node();
+  }
+
+  /// Prefetches everything an exchange touches for one node: its view
+  /// slot, rng stream and counters. At 10^6 nodes these are three random
+  /// accesses into multi-hundred-MB arrays, so hiding their latency a few
+  /// permutation steps ahead is worth ~25% of cycle wall-clock.
+  void prefetch_node(NodeId id) const {
+    views.prefetch(id);
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(rngs.data() + id, 1, 1);
+    __builtin_prefetch(stats.data() + id, 1, 1);
+#endif
+  }
+};
+
+}  // namespace flat
+}  // namespace pss

@@ -1,11 +1,32 @@
 #include "pss/sim/cycle_engine.hpp"
 
+#include "pss/protocol/flat_exchange.hpp"
+
 namespace pss::sim {
 
 void CycleEngine::run_cycle() {
-  auto order = network_->live_nodes();
-  network_->rng().shuffle(order);
-  for (NodeId initiator : order) {
+  // Same permutation as the legacy engine: ascending live ids, one
+  // Fisher–Yates shuffle off the master rng — only the list buffer is
+  // reused instead of reallocated.
+  order_.clear();
+  const std::size_t n = network_->size();
+  for (NodeId id = 0; id < n; ++id) {
+    if (network_->is_live(id)) order_.push_back(id);
+  }
+  network_->rng().shuffle(order_);
+  // Warm the next few initiators' state while the current exchange runs;
+  // the permutation makes every access a random one, so without this the
+  // engine stalls on memory at large N.
+  constexpr std::size_t kPrefetchAhead = 8;
+  const flat::NodeArena& arena = network_->arena();
+  for (std::size_t i = 0; i < std::min(kPrefetchAhead, order_.size()); ++i) {
+    arena.prefetch_node(order_[i]);
+  }
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (i + kPrefetchAhead < order_.size()) {
+      arena.prefetch_node(order_[i + kPrefetchAhead]);
+    }
+    const NodeId initiator = order_[i];
     // A node killed mid-cycle (only possible via external injection between
     // cycles in the current API, but cheap to guard) is skipped.
     if (!network_->is_live(initiator)) continue;
@@ -19,31 +40,30 @@ void CycleEngine::run(Cycle cycles) {
 }
 
 void CycleEngine::initiate_exchange(NodeId initiator) {
-  GossipNode& active = network_->node(initiator);
+  flat::NodeArena& arena = network_->arena();
   // Once-per-cycle aging (timestamp semantics; see gossip_node.hpp).
-  active.age_view();
-  auto peer = active.select_peer();
+  arena.views.age(initiator);
+  auto peer = flat::select_peer(arena.views.view_of(initiator),
+                                network_->spec().peer_selection,
+                                arena.rngs[initiator]);
   if (!peer) {
     ++stats_.empty_views;
     return;
   }
-  active.note_initiated();
+  // The passive side is known only now; start pulling its state in while
+  // the active buffer is being built.
+  arena.prefetch_node(*peer);
+  ++arena.stats[initiator].initiated;
   if (!network_->is_live(*peer) ||
       !network_->can_communicate(initiator, *peer)) {
     // Dead peer or a network partition between the two: the exchange is
     // silently lost either way.
-    active.on_contact_failure(*peer);
+    flat::contact_failure(arena, initiator, *peer, network_->options());
     ++stats_.failed_contacts;
     return;
   }
-  GossipNode& passive = network_->node(*peer);
-  const View buffer = active.make_active_buffer();
-  auto reply = passive.handle_message(buffer);
-  if (active.spec().pull()) {
-    // The reply exists whenever the protocol pulls; both sides run the same
-    // spec, so this is an internal invariant rather than a runtime branch.
-    active.handle_reply(*reply);
-  }
+  flat::run_exchange(arena, initiator, *peer, network_->spec(),
+                     network_->options(), scratch_);
   ++stats_.exchanges;
 }
 

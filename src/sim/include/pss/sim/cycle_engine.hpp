@@ -12,11 +12,21 @@
 // side (unless the remove_dead_on_failure extension is enabled), which is
 // what makes dead-link decay purely a property of view selection, as the
 // paper's Section 7 analysis requires.
+//
+// Execution is batched over the network's flat arena: the permutation is
+// built in a reused buffer, the next initiator's view slot is prefetched
+// one step ahead, and each exchange runs through the shared flat_exchange
+// routines with a persistent Scratch — zero per-exchange heap allocation in
+// steady state. The result is bit-identical to driving the GossipNode
+// adapter methods one message at a time (same Rng streams, same order);
+// tests/flat_view_store_test.cpp replays both paths against each other.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "pss/common/types.hpp"
+#include "pss/membership/flat_ops.hpp"
 #include "pss/sim/network.hpp"
 
 namespace pss::sim {
@@ -51,6 +61,8 @@ class CycleEngine {
   Network* network_;
   Cycle cycle_ = 0;
   EngineStats stats_;
+  std::vector<NodeId> order_;  ///< per-cycle permutation, capacity reused
+  flat::Scratch scratch_;      ///< exchange working memory, capacity reused
 };
 
 }  // namespace pss::sim

@@ -3,14 +3,27 @@
 // Addresses are dense ids assigned in creation order; a killed node keeps
 // its slot (so descriptors pointing to it become dead links, exactly the
 // failure model of the paper's Section 7) and can optionally be revived.
+//
+// Storage: the network is arena-backed. All node state lives in a
+// flat::NodeArena — one contiguous FlatViewStore for every view, plus flat
+// vectors of Rng streams and counters — instead of per-node objects with
+// per-node heap allocations. The GossipNode objects handed out by node()
+// are thin adapters over arena slots (kept in a parallel vector so the
+// `GossipNode&` accessor stays reference-stable); CycleEngine bypasses them
+// and batches exchanges directly over the arena. The arena lives behind a
+// unique_ptr so moving a Network never invalidates the adapters' back
+// pointers.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
 #include "pss/protocol/gossip_node.hpp"
+#include "pss/protocol/node_arena.hpp"
 #include "pss/protocol/spec.hpp"
 
 namespace pss::sim {
@@ -21,6 +34,9 @@ class Network {
   /// of the whole simulation (node RNGs are split off deterministically).
   Network(ProtocolSpec spec, ProtocolOptions options, std::uint64_t seed);
 
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
   const ProtocolSpec& spec() const { return spec_; }
   const ProtocolOptions& options() const { return options_; }
 
@@ -30,8 +46,13 @@ class Network {
   /// Creates `n` nodes; returns the address of the first one.
   NodeId add_nodes(std::size_t n);
 
+  /// Pre-allocates every per-node array for `n` nodes — one contiguous
+  /// growth per array instead of repeated doubling (the difference between
+  /// seconds and noise when standing up a 10^6-node network).
+  void reserve_nodes(std::size_t n);
+
   /// Total slots ever created (live + dead).
-  std::size_t size() const { return nodes_.size(); }
+  std::size_t size() const { return adapters_.size(); }
 
   /// Number of currently live nodes.
   std::size_t live_count() const { return live_count_; }
@@ -39,7 +60,18 @@ class Network {
   GossipNode& node(NodeId id);
   const GossipNode& node(NodeId id) const;
 
-  bool is_live(NodeId id) const;
+  /// Zero-copy view access straight from the arena (no adapter, no View
+  /// materialization) — the inspection fast path for metrics and graphs.
+  std::span<const NodeDescriptor> view_span(NodeId id) const;
+
+  /// The structs-of-arrays node state. CycleEngine and the scale bench run
+  /// on this directly; everything else should go through node()/view_span().
+  flat::NodeArena& arena() { return *arena_; }
+  const flat::NodeArena& arena() const { return *arena_; }
+
+  bool is_live(NodeId id) const {
+    return id < live_.size() && live_[id] != 0;
+  }
 
   /// Marks a node dead. Its descriptors elsewhere become dead links; its own
   /// view is kept (irrelevant while dead, realistic if revived).
@@ -61,6 +93,10 @@ class Network {
   /// Master RNG of the simulation (engines use it for cycle permutations).
   Rng& rng() { return rng_; }
 
+  /// Bytes resident in the per-node state arrays (arena storage, adapters,
+  /// liveness/partition maps) — the bytes/node numerator in BENCH_scale.
+  std::size_t resident_bytes() const;
+
   // --- Temporary network partitions (paper Section 8 discussion) ----------
   // Nodes carry a partition group id (default 0 = everyone together).
   // Engines treat a contact between different groups like a contact to a
@@ -77,7 +113,13 @@ class Network {
   std::uint32_t partition_group(NodeId id) const;
 
   /// True when a and b can exchange messages (same group, both in range).
-  bool can_communicate(NodeId a, NodeId b) const;
+  bool can_communicate(NodeId a, NodeId b) const {
+    if (a >= group_.size() || b >= group_.size()) return false;
+    // Unpartitioned fast path: skips two random reads of the group map on
+    // every exchange (all groups are 0, so in-range ids always match).
+    if (!partitioned_) return true;
+    return group_[a] == group_[b];
+  }
 
   /// True when any node is outside group 0.
   bool partitioned() const { return partitioned_; }
@@ -91,7 +133,8 @@ class Network {
   ProtocolSpec spec_;
   ProtocolOptions options_;
   Rng rng_;
-  std::vector<GossipNode> nodes_;
+  std::unique_ptr<flat::NodeArena> arena_;
+  std::vector<GossipNode> adapters_;
   std::vector<std::uint8_t> live_;
   std::vector<std::uint32_t> group_;
   std::size_t live_count_ = 0;

@@ -7,11 +7,14 @@
 namespace pss::sim {
 
 Network::Network(ProtocolSpec spec, ProtocolOptions options, std::uint64_t seed)
-    : spec_(spec), options_(options), rng_(seed) {}
+    : spec_(spec),
+      options_(options),
+      rng_(seed),
+      arena_(std::make_unique<flat::NodeArena>(options.view_size)) {}
 
 NodeId Network::add_node() {
-  const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.emplace_back(id, spec_, options_, rng_.split());
+  const NodeId id = arena_->add_node(rng_.split());
+  adapters_.emplace_back(id, spec_, options_, arena_.get(), id);
   live_.push_back(1);
   group_.push_back(0);
   ++live_count_;
@@ -20,27 +23,36 @@ NodeId Network::add_node() {
 
 NodeId Network::add_nodes(std::size_t n) {
   PSS_CHECK(n > 0);
-  const NodeId first = static_cast<NodeId>(nodes_.size());
+  const NodeId first = static_cast<NodeId>(adapters_.size());
+  reserve_nodes(adapters_.size() + n);
   for (std::size_t i = 0; i < n; ++i) add_node();
   return first;
 }
 
+void Network::reserve_nodes(std::size_t n) {
+  arena_->reserve(n);
+  adapters_.reserve(n);
+  live_.reserve(n);
+  group_.reserve(n);
+}
+
 GossipNode& Network::node(NodeId id) {
-  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
-  return nodes_[id];
+  PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
+  return adapters_[id];
 }
 
 const GossipNode& Network::node(NodeId id) const {
-  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
-  return nodes_[id];
+  PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
+  return adapters_[id];
 }
 
-bool Network::is_live(NodeId id) const {
-  return id < live_.size() && live_[id] != 0;
+std::span<const NodeDescriptor> Network::view_span(NodeId id) const {
+  PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
+  return arena_->views.view_of(id);
 }
 
 void Network::kill(NodeId id) {
-  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
   if (live_[id]) {
     live_[id] = 0;
     --live_count_;
@@ -48,11 +60,11 @@ void Network::kill(NodeId id) {
 }
 
 void Network::revive(NodeId id) {
-  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
   if (!live_[id]) {
     live_[id] = 1;
     ++live_count_;
-    nodes_[id].set_view(View{});
+    arena_->views.clear(id);
   }
 }
 
@@ -73,7 +85,7 @@ std::vector<NodeId> Network::live_nodes() const {
 }
 
 void Network::set_partition_group(NodeId id, std::uint32_t group) {
-  PSS_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
   group_[id] = group;
   partitioned_ = false;
   for (std::uint32_t g : group_) {
@@ -94,16 +106,11 @@ std::uint32_t Network::partition_group(NodeId id) const {
   return group_[id];
 }
 
-bool Network::can_communicate(NodeId a, NodeId b) const {
-  if (a >= group_.size() || b >= group_.size()) return false;
-  return group_[a] == group_[b];
-}
-
 std::uint64_t Network::count_cross_partition_links() const {
   std::uint64_t cross = 0;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  for (NodeId id = 0; id < adapters_.size(); ++id) {
     if (!live_[id]) continue;
-    for (const auto& d : nodes_[id].view().entries()) {
+    for (const auto& d : arena_->views.view_of(id)) {
       if (is_live(d.address) && group_[d.address] != group_[id]) ++cross;
     }
   }
@@ -112,13 +119,22 @@ std::uint64_t Network::count_cross_partition_links() const {
 
 std::uint64_t Network::count_dead_links() const {
   std::uint64_t dead = 0;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
+  for (NodeId id = 0; id < adapters_.size(); ++id) {
     if (!live_[id]) continue;
-    for (const auto& d : nodes_[id].view().entries()) {
+    for (const auto& d : arena_->views.view_of(id)) {
       if (!is_live(d.address)) ++dead;
     }
   }
   return dead;
+}
+
+std::size_t Network::resident_bytes() const {
+  return arena_->views.storage_bytes() +
+         arena_->rngs.capacity() * sizeof(Rng) +
+         arena_->stats.capacity() * sizeof(NodeStats) +
+         adapters_.capacity() * sizeof(GossipNode) +
+         live_.capacity() * sizeof(std::uint8_t) +
+         group_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace pss::sim
