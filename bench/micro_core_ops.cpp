@@ -1,15 +1,21 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels: view merge and
-// selection, a full pushpull exchange, one simulation cycle at several
-// network sizes, graph snapshot construction and the metric estimators.
-// These bound the cost of the experiment harness and catch performance
-// regressions in the exchange path.
+// selection (object-graph and fused flat variants), a full pushpull
+// exchange, scheduler schedule/pop (calendar queue vs. binary heap), one
+// simulation cycle at several network sizes, graph snapshot construction
+// and the metric estimators. These bound the cost of the experiment harness
+// and catch performance regressions in the exchange path.
 #include <benchmark/benchmark.h>
+
+#include <queue>
+#include <utility>
 
 #include "pss/graph/metrics.hpp"
 #include "pss/graph/undirected_graph.hpp"
+#include "pss/membership/flat_ops.hpp"
 #include "pss/membership/view.hpp"
 #include "pss/protocol/gossip_node.hpp"
 #include "pss/sim/bootstrap.hpp"
+#include "pss/sim/calendar_queue.hpp"
 #include "pss/sim/cycle_engine.hpp"
 
 namespace {
@@ -66,6 +72,75 @@ void BM_PushPullExchange(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PushPullExchange);
+
+void BM_FlatMergeSelectHead(benchmark::State& state) {
+  // The fused streaming kernel behind every (.,head,.) absorb — compare
+  // with BM_ViewMerge + BM_ViewSelectHeadUnbiased, which together are the
+  // object-graph algebra it replaces.
+  const View a = make_view(31, 11);
+  const View b = make_view(30, 12);
+  Rng rng(13);
+  flat::Scratch scratch;
+  std::vector<NodeDescriptor> out;
+  for (auto _ : state) {
+    flat::merge_select_head(a.entries(), b.entries(), 7, 30, rng, out, scratch,
+                            /*age_a=*/1);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FlatMergeSelectHead);
+
+// --- Scheduler: calendar queue vs. binary heap -----------------------------
+// The classic "hold" model at event-engine scale: a pending set of `n`
+// events; each step pops the minimum and schedules a replacement — a mix of
+// rearm-like (+1 period) and message-like (short latency) timestamps,
+// exactly the event engine's steady-state access pattern.
+
+struct HoldEvent {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t slab = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t exchange_id = 0;
+};
+
+void BM_CalendarQueueHold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::CalendarQueue<HoldEvent> q(2.0);
+  Rng rng(17);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    q.push(rng.uniform(), seq++, HoldEvent{});
+  }
+  for (auto _ : state) {
+    const auto item = q.pop();
+    const double at = rng.chance(0.33) ? item.at + 1.0
+                                       : item.at + 0.01 + rng.uniform() * 0.09;
+    q.push(at, seq++, item.value);
+    benchmark::DoNotOptimize(seq);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CalendarQueueHold)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_BinaryHeapHold(benchmark::State& state) {
+  using Entry = std::pair<double, std::uint64_t>;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> q;
+  Rng rng(17);
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < n; ++i) q.emplace(rng.uniform(), seq++);
+  for (auto _ : state) {
+    const auto [at, id] = q.top();
+    q.pop();
+    const double next =
+        rng.chance(0.33) ? at + 1.0 : at + 0.01 + rng.uniform() * 0.09;
+    q.emplace(next, seq++);
+    benchmark::DoNotOptimize(seq);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinaryHeapHold)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
 
 void BM_SimulationCycle(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

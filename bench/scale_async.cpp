@@ -1,0 +1,259 @@
+// Scale driver for the flat asynchronous engine: events/second, memory and
+// steady-state allocation behavior at N ∈ {10^4, 10^5, 10^6}, plus the
+// recorded speedup over the frozen LegacyEventEngine baseline.
+//
+// This is the async counterpart of scale_million_nodes: the same Newscast
+// instance and random bootstrap, but driven through the discrete-event
+// message layer (per-message latency, drop probability, reply timeouts)
+// instead of atomic cycles. Each run warms the engine for a few periods —
+// letting the calendar queue, message pool and scratch buffers reach their
+// high-water marks — then measures a timed window, counting every global
+// operator new/delete in between: the recorded `steady_allocations` is the
+// engine's whole-process allocation count during the measured window, and
+// the flat engine's async hot path is allocation-free in steady state.
+//
+// The legacy baseline (heap-of-Views object-graph engine) runs the same
+// scenario where it is feasible (it is the 10^4-capped engine this driver
+// exists to retire); `PSS_ASYNC_LEGACY=auto` runs it up to 10^5 nodes.
+// Results append to BENCH_async.json.
+//
+// Knobs (see docs/PERFORMANCE.md):
+//   PSS_ASYNC_NS     comma-separated network sizes (default 10000,100000,1000000)
+//   PSS_PERIODS      measured periods per run            (default 20)
+//   PSS_WARMUP       warm-up periods before measuring    (default 5)
+//   PSS_C            view size c                         (default 30)
+//   PSS_SEED         master seed                         (default 42)
+//   PSS_DROP         message drop probability            (default 0)
+//   PSS_ASYNC_LEGACY "auto" (n <= 1e5), "1" (always), "0" (never)
+//   PSS_ASYNC_JSON   output path                         (default BENCH_async.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "pss/common/env.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/event_engine.hpp"
+#include "pss/sim/legacy_event_engine.hpp"
+#include "pss/sim/network.hpp"
+
+// --- Whole-process allocation counter --------------------------------------
+// Overriding the global allocation functions in the bench binary counts
+// every heap allocation made while the engine runs — the strongest form of
+// the "zero steady-state allocation" claim, since nothing can hide behind a
+// custom pool or a standard-library container.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) {
+      std::size_t consumed = 0;
+      unsigned long long value = 0;
+      try {
+        value = std::stoull(token, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != token.size() || value == 0) {
+        std::fprintf(stderr,
+                     "PSS_ASYNC_NS: bad network size '%s' (want a "
+                     "comma-separated list of positive integers)\n",
+                     token.c_str());
+        std::exit(1);
+      }
+      out.push_back(static_cast<std::size_t>(value));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Events the engine processed: wake-ups plus every delivered message
+/// (dropped ones never enter the queue); comparable across both engines.
+std::uint64_t events_processed(const pss::sim::EventEngineStats& s) {
+  return s.wakeups + (s.messages_sent - s.messages_dropped);
+}
+
+struct RunResult {
+  std::size_t n = 0;
+  double setup_seconds = 0;
+  double run_seconds = 0;
+  double events_per_second = 0;
+  std::uint64_t events = 0;
+  std::uint64_t steady_allocations = 0;
+  double bytes_per_node = 0;
+  double mean_view_size = 0;
+  double legacy_run_seconds = 0;       ///< 0 when the baseline was skipped
+  double legacy_events_per_second = 0;
+  double speedup_vs_legacy = 0;
+  pss::sim::EventEngineStats stats;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pss;
+
+  const auto sizes = parse_sizes(
+      env::get("PSS_ASYNC_NS").value_or("10000,100000,1000000"));
+  const auto periods = static_cast<std::size_t>(env::get_int("PSS_PERIODS", 20));
+  const auto warmup = static_cast<std::size_t>(env::get_int("PSS_WARMUP", 5));
+  const auto c = static_cast<std::size_t>(env::get_int("PSS_C", 30));
+  const auto seed = static_cast<std::uint64_t>(env::get_int("PSS_SEED", 42));
+  const double drop = env::get_double("PSS_DROP", 0.0);
+  const std::string legacy_mode =
+      env::get("PSS_ASYNC_LEGACY").value_or("auto");
+  const std::string out_path =
+      env::get("PSS_ASYNC_JSON").value_or("BENCH_async.json");
+
+  const ProtocolSpec spec = ProtocolSpec::newscast();
+  sim::EventEngineConfig cfg;
+  cfg.drop_probability = drop;
+
+  std::vector<RunResult> results;
+  std::printf(
+      "scale_async: spec=%s c=%zu periods=%zu warmup=%zu drop=%.2f seed=%llu\n",
+      spec.name().c_str(), c, periods, warmup, drop,
+      static_cast<unsigned long long>(seed));
+
+  for (const std::size_t n : sizes) {
+    RunResult r;
+    r.n = n;
+
+    const auto t_setup = Clock::now();
+    sim::Network net(spec, ProtocolOptions{c, false}, seed);
+    net.reserve_nodes(n);
+    net.add_nodes(n);
+    sim::bootstrap::init_random(net);
+    sim::EventEngine engine(net, cfg);
+    engine.run_cycles(warmup);  // queue/pool/scratch reach high-water marks
+    r.setup_seconds = seconds_since(t_setup);
+
+    const auto warm_stats = engine.stats();
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto t_run = Clock::now();
+    engine.run_cycles(periods);
+    r.run_seconds = seconds_since(t_run);
+    r.steady_allocations =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+    r.stats = engine.stats();
+    r.events = events_processed(r.stats) - events_processed(warm_stats);
+    r.events_per_second = static_cast<double>(r.events) / r.run_seconds;
+    r.bytes_per_node =
+        static_cast<double>(net.resident_bytes() + engine.resident_bytes()) /
+        static_cast<double>(n);
+    std::uint64_t total_view = 0;
+    for (NodeId id = 0; id < n; ++id) total_view += net.view_span(id).size();
+    r.mean_view_size = static_cast<double>(total_view) / static_cast<double>(n);
+
+    std::printf(
+        "  n=%-8zu flat:   setup=%6.2fs run=%6.2fs  %10.0f events/s  "
+        "%6.1f B/node  steady_allocs=%llu  mean_view=%.2f\n",
+        n, r.setup_seconds, r.run_seconds, r.events_per_second,
+        r.bytes_per_node, static_cast<unsigned long long>(r.steady_allocations),
+        r.mean_view_size);
+
+    const bool run_legacy =
+        legacy_mode == "1" || (legacy_mode == "auto" && n <= 100000);
+    if (run_legacy) {
+      sim::Network legacy_net(spec, ProtocolOptions{c, false}, seed);
+      legacy_net.reserve_nodes(n);
+      legacy_net.add_nodes(n);
+      sim::bootstrap::init_random(legacy_net);
+      sim::LegacyEventEngine legacy(legacy_net, cfg);
+      legacy.run_cycles(warmup);
+      const auto legacy_warm = events_processed(legacy.stats());
+      const auto t_legacy = Clock::now();
+      legacy.run_cycles(periods);
+      r.legacy_run_seconds = seconds_since(t_legacy);
+      const std::uint64_t legacy_events =
+          events_processed(legacy.stats()) - legacy_warm;
+      r.legacy_events_per_second =
+          static_cast<double>(legacy_events) / r.legacy_run_seconds;
+      r.speedup_vs_legacy = r.events_per_second / r.legacy_events_per_second;
+      std::printf(
+          "  n=%-8zu legacy: run=%6.2fs  %10.0f events/s  -> flat speedup "
+          "%.1fx\n",
+          n, r.legacy_run_seconds, r.legacy_events_per_second,
+          r.speedup_vs_legacy);
+    }
+    results.push_back(r);
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"scale_async\",\n"
+       << "  \"spec\": \"" << spec.name() << "\",\n"
+       << "  \"view_size\": " << c << ",\n"
+       << "  \"periods\": " << periods << ",\n"
+       << "  \"warmup_periods\": " << warmup << ",\n"
+       << "  \"drop_probability\": " << drop << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\n"
+         << "      \"n\": " << r.n << ",\n"
+         << "      \"setup_seconds\": " << r.setup_seconds << ",\n"
+         << "      \"run_seconds\": " << r.run_seconds << ",\n"
+         << "      \"events\": " << r.events << ",\n"
+         << "      \"events_per_second\": " << r.events_per_second << ",\n"
+         << "      \"steady_allocations\": " << r.steady_allocations << ",\n"
+         << "      \"bytes_per_node\": " << r.bytes_per_node << ",\n"
+         << "      \"mean_view_size\": " << r.mean_view_size << ",\n"
+         << "      \"wakeups\": " << r.stats.wakeups << ",\n"
+         << "      \"messages_sent\": " << r.stats.messages_sent << ",\n"
+         << "      \"messages_dropped\": " << r.stats.messages_dropped << ",\n"
+         << "      \"replies_delivered\": " << r.stats.replies_delivered
+         << ",\n"
+         << "      \"replies_stale\": " << r.stats.replies_stale << ",\n"
+         << "      \"legacy_run_seconds\": " << r.legacy_run_seconds << ",\n"
+         << "      \"legacy_events_per_second\": "
+         << r.legacy_events_per_second << ",\n"
+         << "      \"speedup_vs_legacy\": " << r.speedup_vs_legacy << "\n"
+         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -140,20 +140,29 @@ inline void normalize(std::vector<NodeDescriptor>& buf) {
   std::sort(buf.begin(), buf.end(), ByHopThenAddress{});
 }
 
-/// View::merge(a, b): `out` becomes the normalized union. `out` must not
-/// alias `a` or `b`. Requires `a` and `b` normalized (I1/I2) — true for
-/// every view slot and message buffer — which admits a linear two-pointer
-/// merge with hash dedup instead of View::merge's two sorts; both paths
-/// produce the identical canonical array (lowest hop per address, ordered
-/// by ByHopThenAddress).
+/// View::merge(increase_hop_count(a, age_a), b): `out` becomes the
+/// normalized union, with the `a` side aged by `age_a` hops on the fly.
+/// `out` must not alias `a` or `b`. Requires `a` and `b` normalized
+/// (I1/I2) — true for every view slot and message buffer — which admits a
+/// linear two-pointer merge with hash dedup instead of View::merge's two
+/// sorts; both paths produce the identical canonical array (lowest hop per
+/// address, ordered by ByHopThenAddress).
+///
+/// `age_a` exists because every Figure-1 handler ages the incoming buffer
+/// immediately before merging it: folding the uniform +age into the merge's
+/// key comparison (aging preserves the (hop, address) order) saves a full
+/// read-modify-write pass over the message on the hot path.
 inline void merge_into(DescSpan a, DescSpan b, std::vector<NodeDescriptor>& out,
-                       Scratch& scratch) {
+                       Scratch& scratch, HopCount age_a = 0) {
+  const std::uint64_t age_key = static_cast<std::uint64_t>(age_a) << 32;
   if (a.size() + b.size() > AddressSet::kMaxEntries) {
     // Oversized inputs (possible only through the adapter API with
     // arbitrarily large Views) take the sort-based path.
     out.clear();
     out.reserve(a.size() + b.size());
-    out.insert(out.end(), a.begin(), a.end());
+    for (const NodeDescriptor& d : a) {
+      out.push_back({d.address, d.hop_count + age_a});
+    }
     out.insert(out.end(), b.begin(), b.end());
     normalize(out);
     return;
@@ -171,16 +180,19 @@ inline void merge_into(DescSpan a, DescSpan b, std::vector<NodeDescriptor>& out,
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     const std::size_t take_a =
-        static_cast<std::size_t>(detail::sort_key(a[i]) <
+        static_cast<std::size_t>(detail::sort_key(a[i]) + age_key <
                                  detail::sort_key(b[j]));
-    const NodeDescriptor d = take_a ? a[i] : b[j];
+    const NodeDescriptor d = take_a
+                                 ? NodeDescriptor{a[i].address,
+                                                  a[i].hop_count + age_a}
+                                 : b[j];
     i += take_a;
     j += 1 - take_a;
     *cursor = d;
     cursor += scratch.seen.insert(d.address);
   }
   for (; i < a.size(); ++i) {
-    *cursor = a[i];
+    *cursor = {a[i].address, a[i].hop_count + age_a};
     cursor += scratch.seen.insert(a[i].address);
   }
   for (; j < b.size(); ++j) {
@@ -201,11 +213,6 @@ inline void insert_self(std::vector<NodeDescriptor>& buf, NodeId self) {
                           }));
   auto pos = std::upper_bound(buf.begin(), buf.end(), d, ByHopThenAddress{});
   buf.insert(pos, d);
-}
-
-/// View::increase_hop_count on a message buffer.
-inline void age_in_place(std::vector<NodeDescriptor>& buf) {
-  for (auto& d : buf) ++d.hop_count;
 }
 
 /// View::erase: removes the entry for `address`; returns true when removed.
@@ -306,6 +313,127 @@ inline void select_rand(std::vector<NodeDescriptor>& buf, std::size_t c,
   scratch.sel.reserve(k);
   for (std::size_t i : scratch.picks) scratch.sel.push_back(buf[i]);
   buf.swap(scratch.sel);
+}
+
+/// Fused merge + drop-self + select_head_unbiased: produces in `out`
+/// exactly
+///   merge_into(a, b, out, scratch, age_a); remove_address(out, self);
+///   select_head_unbiased(out, c, rng, scratch);
+/// with identical results and identical Rng consumption, in one streaming
+/// pass. Head selection keeps the freshest c entries, so the merge can stop
+/// at the selection boundary instead of materializing the full union: the
+/// stream runs until c survivors are emitted, extends through the boundary
+/// hop-class, and then only probes far enough to learn whether anything was
+/// truncated (which decides whether the reference draws Rng at all). On the
+/// event engine's hot path this cuts the per-absorb work nearly in half —
+/// it is the kernel behind both engines' (.,head,.) exchanges.
+/// Preconditions as merge_into: `a`, `b` normalized, `out` aliases neither.
+/// Core of merge_select_head: streams into scratch.merge_arr and returns
+/// the selected length (<= c). Requires a.size() + b.size() and c within
+/// AddressSet::kMaxEntries — callers dispatch to the vector-based fallback
+/// otherwise. The result is left in scratch.merge_arr so the caller can
+/// hand it straight to FlatViewStore::assign without an intermediate copy.
+inline std::size_t merge_select_head_arr(DescSpan a, DescSpan b, NodeId self,
+                                         std::size_t c, Rng& rng,
+                                         Scratch& scratch, HopCount age_a) {
+  PSS_DCHECK(detail::is_normalized(a) && detail::is_normalized(b));
+  PSS_DCHECK(a.size() + b.size() <= AddressSet::kMaxEntries &&
+             c <= AddressSet::kMaxEntries);
+  PSS_DCHECK(c > 0);  // the boundary probe below reads the c-th entry
+  scratch.seen.reset();
+  // Streams the (hop, address)-ordered union with the same take rule and
+  // dedup as merge_into (including its on-the-fly aging of the `a` side),
+  // additionally skipping `self` inline (removing it before selection is
+  // exactly what the reference sequence does). The packed sort keys roll
+  // forward with the two cursors so each iteration recomputes only the
+  // side it consumed.
+  const std::uint64_t age_key = static_cast<std::uint64_t>(age_a) << 32;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::uint64_t ka = i < a.size() ? detail::sort_key(a[i]) + age_key : 0;
+  std::uint64_t kb = j < b.size() ? detail::sort_key(b[j]) : 0;
+  auto next_survivor = [&](NodeDescriptor& d) -> bool {
+    while (true) {
+      if (i < a.size() && j < b.size()) {
+        if (ka < kb) {
+          d = {a[i].address, a[i].hop_count + age_a};
+          if (++i < a.size()) ka = detail::sort_key(a[i]) + age_key;
+        } else {
+          d = b[j];
+          if (++j < b.size()) kb = detail::sort_key(b[j]);
+        }
+      } else if (i < a.size()) {
+        d = {a[i].address, a[i].hop_count + age_a};
+        ++i;
+      } else if (j < b.size()) {
+        d = b[j++];
+      } else {
+        return false;
+      }
+      if (d.address == self) continue;
+      if (!scratch.seen.insert(d.address)) continue;
+      return true;
+    }
+  };
+
+  NodeDescriptor* const base = scratch.merge_arr.data();
+  NodeDescriptor* cursor = base;
+  NodeDescriptor* const limit = base + c;
+  NodeDescriptor d;
+  while (cursor != limit && next_survivor(d)) *cursor++ = d;
+  if (cursor != limit) {
+    // Fewer than c survivors: nothing truncated, no Rng consumed (the
+    // reference's k == n early-out).
+    return static_cast<std::size_t>(cursor - base);
+  }
+  // Extend through the boundary hop-class; the first survivor beyond it
+  // proves truncation. Exhausting the inputs inside the class leaves the
+  // emitted count to decide.
+  const HopCount boundary_hop = cursor[-1].hop_count;
+  bool truncated = false;
+  while (next_survivor(d)) {
+    if (d.hop_count != boundary_hop) {
+      truncated = true;
+      break;
+    }
+    *cursor++ = d;
+  }
+  const std::size_t total = static_cast<std::size_t>(cursor - base);
+  if (total == c && !truncated) {
+    // Exactly c survivors overall: again the reference's k == n case.
+    return c;
+  }
+  // Same arithmetic as select_boundary_sampled(from_head): interior [0, lo)
+  // is kept outright, the boundary class [lo, total) is sampled to fill.
+  std::size_t lo = c - 1;
+  while (lo > 0 && base[lo - 1].hop_count == boundary_hop) --lo;
+  const std::size_t need = c - lo;
+  rng.sample_indices_into(total - lo, need, scratch.picks, scratch.fy);
+  detail::sort_small(scratch.picks);
+  // Ascending in-place gather: picks[t] >= t, so every read is at or ahead
+  // of its write.
+  for (std::size_t t = 0; t < need; ++t) {
+    base[lo + t] = base[lo + scratch.picks[t]];
+  }
+  return c;
+}
+
+inline void merge_select_head(DescSpan a, DescSpan b, NodeId self,
+                              std::size_t c, Rng& rng,
+                              std::vector<NodeDescriptor>& out,
+                              Scratch& scratch, HopCount age_a = 0) {
+  if (a.size() + b.size() > AddressSet::kMaxEntries ||
+      c > AddressSet::kMaxEntries) {
+    // Oversized inputs (adapter API with arbitrarily large Views) take the
+    // unfused path.
+    merge_into(a, b, out, scratch, age_a);
+    remove_address(out, self);
+    select_head_unbiased(out, c, rng, scratch);
+    return;
+  }
+  const std::size_t n =
+      merge_select_head_arr(a, b, self, c, rng, scratch, age_a);
+  out.assign(scratch.merge_arr.data(), scratch.merge_arr.data() + n);
 }
 
 // --- Peer selection (on a normalized span; mirrors View::peer_*) ----------

@@ -83,8 +83,6 @@ View GossipNode::make_active_buffer() const {
 
 std::optional<View> GossipNode::handle_message(const View& incoming) {
   ++mutable_stats().received;
-  std::vector<NodeDescriptor> aged(incoming.entries());
-  flat::age_in_place(aged);
   std::optional<View> reply;
   if (spec_.pull()) {
     // Reply is built from the pre-merge view, exactly as in Figure 1(b).
@@ -94,18 +92,18 @@ std::optional<View> GossipNode::handle_message(const View& incoming) {
     ++mutable_stats().replies_sent;
   }
   flat::Scratch scratch;
-  flat::absorb(arena_->views, slot_, self_, spec_, options_, aged, rng(),
-               scratch);
+  // Aging the incoming buffer happens inside the merge (age_incoming = 1),
+  // sparing the aged copy this method used to materialize.
+  flat::absorb(arena_->views, slot_, self_, spec_, options_,
+               incoming.entries(), rng(), scratch, /*age_incoming=*/1);
   return reply;
 }
 
 void GossipNode::handle_reply(const View& reply) {
   PSS_DCHECK(spec_.pull());
-  std::vector<NodeDescriptor> aged(reply.entries());
-  flat::age_in_place(aged);
   flat::Scratch scratch;
-  flat::absorb(arena_->views, slot_, self_, spec_, options_, aged, rng(),
-               scratch);
+  flat::absorb(arena_->views, slot_, self_, spec_, options_, reply.entries(),
+               rng(), scratch, /*age_incoming=*/1);
 }
 
 void GossipNode::on_contact_failure(NodeId peer) {

@@ -1,15 +1,19 @@
 // Figure-1 exchange mechanics over flat storage.
 //
 // These free functions are the single implementation of the gossip skeleton
-// shared by both execution surfaces:
+// shared by every execution surface:
 //   - CycleEngine calls them directly on the network's NodeArena with a
-//     persistent Scratch — the batched, allocation-free hot path;
+//     persistent Scratch — the batched, allocation-free atomic-exchange path;
+//   - EventEngine drives the request/reply split kernels below over message
+//     slabs (pss/membership/descriptor_slab_pool.hpp) — the same Figure-1
+//     halves, decoupled in time by the asynchronous message layer;
 //   - GossipNode's handler methods call the same functions on its own slot,
-//     preserving the legacy message-level API for the event engine, the
-//     service layer and the tests.
-// Because both paths run this code, the adapter and the engine cannot
+//     preserving the legacy message-level API for the service layer, the
+//     reference LegacyEventEngine and the tests.
+// Because every path runs this code, the adapter and the engines cannot
 // diverge; equivalence with the original View-based node logic is pinned by
-// the randomized traces in tests/flat_view_store_test.cpp. Defined inline
+// the randomized traces in tests/flat_view_store_test.cpp (and the engine
+// replay in tests/event_engine_flat_test.cpp). Defined inline
 // for the same reason as flat_ops.hpp: these run tens of millions of times
 // per scale run.
 //
@@ -58,22 +62,43 @@ inline void make_active_buffer(DescSpan view, NodeId self, bool push,
   insert_self(out, self);
 }
 
-/// merge + drop-self + selectView on one slot: the shared tail of both
-/// Figure-1 handlers. `aged_incoming` must already be aged by the caller
-/// and must not alias scratch.merged/sel.
+/// age + merge + drop-self + selectView on one slot: the shared tail of
+/// both Figure-1 handlers. `incoming` is aged by `age_incoming` hops on the
+/// fly inside the merge (pass 0 for a buffer the caller already aged — the
+/// adapter's View-level API does) and must not alias scratch.merged/sel.
 inline void absorb(FlatViewStore& store, NodeId slot, NodeId self,
                    const ProtocolSpec& spec, const ProtocolOptions& options,
-                   DescSpan aged_incoming, Rng& rng, Scratch& scratch) {
-  merge_into(aged_incoming, store.view_of(slot), scratch.merged, scratch);
-  remove_address(scratch.merged, self);
+                   DescSpan incoming, Rng& rng, Scratch& scratch,
+                   HopCount age_incoming = 0) {
   switch (spec.view_selection) {
     case ViewSelection::kRand:
+      merge_into(incoming, store.view_of(slot), scratch.merged, scratch,
+                 age_incoming);
+      remove_address(scratch.merged, self);
       select_rand(scratch.merged, options.view_size, rng, scratch);
       break;
     case ViewSelection::kHead:
-      select_head_unbiased(scratch.merged, options.view_size, rng, scratch);
+      // Head selection takes the fused streaming kernel: identical result
+      // and Rng draws, but the merge stops at the selection boundary
+      // instead of materializing the full union (see flat_ops.hpp), and the
+      // result goes from the stream's landing zone straight into the slot.
+      if (incoming.size() + store.view_size(slot) <= AddressSet::kMaxEntries &&
+          options.view_size <= AddressSet::kMaxEntries) {
+        const std::size_t n = merge_select_head_arr(
+            incoming, store.view_of(slot), self, options.view_size, rng,
+            scratch, age_incoming);
+        store.assign(slot, {scratch.merge_arr.data(), n});
+        return;
+      }
+      merge_select_head(incoming, store.view_of(slot), self,
+                        options.view_size, rng, scratch.merged, scratch,
+                        age_incoming);
       break;
     case ViewSelection::kTail:
+      // Tail keeps the oldest entries, which only the full union knows.
+      merge_into(incoming, store.view_of(slot), scratch.merged, scratch,
+                 age_incoming);
+      remove_address(scratch.merged, self);
       select_tail_unbiased(scratch.merged, options.view_size, rng, scratch);
       break;
   }
@@ -86,6 +111,75 @@ inline void contact_failure(NodeArena& arena, NodeId node, NodeId peer,
                             const ProtocolOptions& options) {
   ++arena.stats[node].contact_failures;
   if (options.remove_dead_on_failure) arena.views.erase_address(node, peer);
+}
+
+// --- Request/reply split kernels (the event engine's hot path) ------------
+// run_exchange() below is the two Figure-1 halves fused into one atomic
+// step. Under asynchrony the halves run at different simulated times with a
+// message buffer in flight between them, so they are also exposed
+// separately, operating on raw fixed-stride buffers (message-pool slabs)
+// instead of Scratch vectors. Semantics, stats updates and Rng consumption
+// mirror GossipNode::handle_message / handle_reply exactly — pinned by the
+// engine trace-equivalence suite in tests/event_engine_flat_test.cpp.
+
+/// Slab variant of make_active_buffer: writes the active thread's buffer
+/// (view + {self, 0} at its sorted position when pushing, nothing
+/// otherwise) into `out`, which must hold view.size() + 1 entries. Returns
+/// the entry count. Precondition, as insert_self: `self` is not in `view`.
+inline std::uint32_t write_active_buffer(DescSpan view, NodeId self, bool push,
+                                         NodeDescriptor* out) {
+  if (!push) return 0;  // empty buffer triggers the pull reply
+  const NodeDescriptor me{self, 0};
+  const std::uint64_t me_key = detail::sort_key(me);
+  std::size_t n = 0;
+  std::size_t i = 0;
+  while (i < view.size() && detail::sort_key(view[i]) < me_key) {
+    out[n++] = view[i++];
+  }
+  out[n++] = me;
+  while (i < view.size()) out[n++] = view[i++];
+  return static_cast<std::uint32_t>(n);
+}
+
+/// Passive half of Figure 1 over message buffers: writes the pull reply
+/// (pre-merge view plus self) into `reply_out` when one is wanted, then
+/// merges the request — aged one hop inside the merge — into the passive
+/// slot. Returns the reply entry count (0 when none was written).
+/// `reply_out == nullptr` skips building a reply the caller already knows
+/// will be lost; counters still mirror GossipNode::handle_message (received
+/// always, replies_sent whenever the protocol pulls), and neither the reply
+/// build nor the skip consumes Rng, so the node's stream is unaffected.
+inline std::uint32_t handle_request(NodeArena& arena, NodeId passive,
+                                    const NodeDescriptor* request,
+                                    std::uint32_t request_size,
+                                    NodeDescriptor* reply_out,
+                                    const ProtocolSpec& spec,
+                                    const ProtocolOptions& options,
+                                    Scratch& scratch) {
+  ++arena.stats[passive].received;
+  std::uint32_t reply_size = 0;
+  if (spec.pull()) {
+    if (reply_out != nullptr) {
+      reply_size = write_active_buffer(arena.views.view_of(passive), passive,
+                                       /*push=*/true, reply_out);
+    }
+    ++arena.stats[passive].replies_sent;
+  }
+  absorb(arena.views, passive, passive, spec, options,
+         DescSpan{request, request_size}, arena.rngs[passive], scratch,
+         /*age_incoming=*/1);
+  return reply_size;
+}
+
+/// Active tail of Figure 1 over a message buffer: merges the pull reply —
+/// aged one hop inside the merge — into the active slot.
+inline void handle_reply(NodeArena& arena, NodeId active,
+                         const NodeDescriptor* reply, std::uint32_t reply_size,
+                         const ProtocolSpec& spec,
+                         const ProtocolOptions& options, Scratch& scratch) {
+  absorb(arena.views, active, active, spec, options,
+         DescSpan{reply, reply_size}, arena.rngs[active], scratch,
+         /*age_incoming=*/1);
 }
 
 /// One complete atomic exchange between two live, reachable nodes — the
@@ -101,10 +195,10 @@ inline void run_exchange(NodeArena& arena, NodeId active, NodeId passive,
   FlatViewStore& store = arena.views;
   make_active_buffer(store.view_of(active), active, spec.push(),
                      scratch.buffer);
-  // Passive thread (handle_message): age the incoming buffer, build the
-  // pull reply from the pre-merge view, then merge and select.
+  // Passive thread (handle_message): build the pull reply from the
+  // pre-merge view, then merge (aging the incoming buffer in-merge) and
+  // select.
   ++arena.stats[passive].received;
-  age_in_place(scratch.buffer);
   const bool pull = spec.pull();
   if (pull) {
     make_active_buffer(store.view_of(passive), passive, /*push=*/true,
@@ -112,12 +206,11 @@ inline void run_exchange(NodeArena& arena, NodeId active, NodeId passive,
     ++arena.stats[passive].replies_sent;
   }
   absorb(store, passive, passive, spec, options, scratch.buffer,
-         arena.rngs[passive], scratch);
-  // Active thread tail (handle_reply): age the reply, merge and select.
+         arena.rngs[passive], scratch, /*age_incoming=*/1);
+  // Active thread tail (handle_reply): merge the aged reply and select.
   if (pull) {
-    age_in_place(scratch.reply);
     absorb(store, active, active, spec, options, scratch.reply,
-           arena.rngs[active], scratch);
+           arena.rngs[active], scratch, /*age_incoming=*/1);
   }
 }
 

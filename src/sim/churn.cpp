@@ -20,8 +20,13 @@ void ChurnModel::apply(Network& network) {
     stats_.left += kills;
   }
   for (std::size_t j = 0; j < config_.joins_per_cycle; ++j) {
-    auto live = network.live_nodes();
-    const std::size_t contacts = std::min(config_.contacts_per_join, live.size());
+    // Bootstrap contacts come straight from the incremental live-id pool —
+    // O(contacts) per join — re-read each iteration because add_node below
+    // extends the pool (and earlier newcomers are eligible contacts, as
+    // they were when this built a fresh live list per join).
+    const auto live = network.live_ids();
+    const std::size_t contacts =
+        std::min(config_.contacts_per_join, live.size());
     auto picks = rng_.sample_indices(live.size(), contacts);
     std::vector<NodeDescriptor> entries;
     entries.reserve(contacts);

@@ -1,11 +1,24 @@
 #include "pss/sim/event_engine.hpp"
 
 #include "pss/common/check.hpp"
+#include "pss/protocol/flat_exchange.hpp"
 
 namespace pss::sim {
 
+namespace {
+// One calendar year spans two periods: the pending set at any instant is
+// every node's next wake-up (all within one period) plus in-flight messages
+// (within max_latency), so a two-period year keeps the whole population
+// inside one lap with headroom for rearms landing a period ahead.
+constexpr double kYearsPerPeriod = 2.0;
+}  // namespace
+
 EventEngine::EventEngine(Network& network, EventEngineConfig config)
-    : network_(&network), config_(config) {
+    : network_(&network),
+      config_(config),
+      queue_(kYearsPerPeriod *
+             (config.period > 0 ? config.period : 1.0)),
+      pool_(network.options().view_size + 1) {
   PSS_CHECK_MSG(config_.period > 0, "period must be positive");
   PSS_CHECK_MSG(config_.min_latency >= 0 &&
                     config_.min_latency <= config_.max_latency,
@@ -14,119 +27,193 @@ EventEngine::EventEngine(Network& network, EventEngineConfig config)
                 "drop probability must be in [0,1]");
 }
 
-void EventEngine::schedule(Event e) {
-  e.seq = next_seq_++;
-  queue_.push(std::move(e));
+void EventEngine::push_event(double at, Kind kind, NodeId from, NodeId to,
+                             std::uint64_t exchange_id,
+                             DescriptorSlabPool::SlabId slab) {
+  FlatEvent e;
+  e.from = from;
+  e.to = to;
+  e.slab = slab;
+  e.kind = static_cast<std::uint32_t>(kind);
+  e.exchange_id = exchange_id;
+  queue_.push(at, next_seq_++, e);
 }
 
-void EventEngine::send(Kind kind, NodeId from, NodeId to,
-                       std::uint64_t exchange_id, View payload) {
+void EventEngine::send_request(NodeId from, NodeId to,
+                               std::uint64_t exchange_id) {
   ++stats_.messages_sent;
   Rng& rng = network_->rng();
   if (rng.chance(config_.drop_probability)) {
     ++stats_.messages_dropped;
-    return;
+    return;  // a dropped message never needs its payload built
   }
   const double latency =
       config_.min_latency +
       rng.uniform() * (config_.max_latency - config_.min_latency);
-  Event e;
-  e.at = now_ + latency;
-  e.kind = kind;
-  e.from = from;
-  e.to = to;
-  e.exchange_id = exchange_id;
-  e.payload = std::move(payload);
-  schedule(std::move(e));
+  const DescriptorSlabPool::SlabId slab = pool_.acquire();
+  const std::uint32_t n = flat::write_active_buffer(
+      network_->arena().views.view_of(from), from, network_->spec().push(),
+      pool_.data(slab));
+  pool_.set_size(slab, n);
+  push_event(now_ + latency, Kind::kRequest, from, to, exchange_id, slab);
 }
 
 void EventEngine::expire_pending(NodeId node) {
   Pending& p = pending_[node];
   if (p.active && p.deadline < now_) {
     // The pull reply never arrived in time: treat as a failed contact.
-    network_->node(node).on_contact_failure(p.peer);
+    flat::contact_failure(network_->arena(), node, p.peer,
+                          network_->options());
     p.active = false;
   }
 }
 
 void EventEngine::on_wakeup(NodeId id) {
-  // Re-arm the periodic timer first so a node keeps its phase forever.
-  Event next;
-  next.at = now_ + config_.period;
-  next.kind = Kind::kWakeup;
-  next.to = id;
-  schedule(std::move(next));
+  // Re-arm the periodic timer first so a node keeps its phase forever (and
+  // the rearm takes its seq before the request — the legacy event order).
+  push_event(now_ + config_.period, Kind::kWakeup, kInvalidNode, id, 0,
+             DescriptorSlabPool::kNoSlab);
 
   if (!network_->is_live(id)) return;
   ++stats_.wakeups;
-  GossipNode& node = network_->node(id);
+  flat::NodeArena& arena = network_->arena();
   expire_pending(id);
 
-  node.age_view();  // once-per-period aging (timestamp semantics)
-  auto peer = node.select_peer();
+  arena.views.age(id);  // once-per-period aging (timestamp semantics)
+  auto peer = flat::select_peer(arena.views.view_of(id),
+                                network_->spec().peer_selection,
+                                arena.rngs[id]);
   if (!peer) return;
-  node.note_initiated();
+  ++arena.stats[id].initiated;
 
   const std::uint64_t exchange_id = next_exchange_++;
-  if (node.spec().pull()) {
+  if (network_->spec().pull()) {
     // Starting a new exchange supersedes any outstanding one.
     if (pending_[id].active) ++stats_.replies_stale;
     pending_[id] = {exchange_id, *peer, now_ + config_.reply_timeout, true};
   }
-  send(Kind::kRequest, id, *peer, exchange_id, node.make_active_buffer());
+  send_request(id, *peer, exchange_id);
 }
 
-void EventEngine::on_request(const Event& e) {
+void EventEngine::on_request(const FlatEvent& e) {
   if (!network_->is_live(e.to) || !network_->can_communicate(e.from, e.to)) {
     ++stats_.messages_to_dead;
+    pool_.release(e.slab);
     return;
   }
-  GossipNode& node = network_->node(e.to);
-  auto reply = node.handle_message(e.payload);
-  if (reply) send(Kind::kReply, e.to, e.from, e.exchange_id, std::move(*reply));
+  flat::NodeArena& arena = network_->arena();
+  const bool pull = network_->spec().pull();
+
+  // Reply dispatch (master-stream draws) decided up front so a reply that
+  // will be dropped is never built. The legacy engine draws these after the
+  // passive handler, but the master and per-node streams are independent,
+  // so each stream's own sequence — all that determinism rests on — is
+  // unchanged (pinned by the trace-equivalence suite).
+  bool deliver_reply = false;
+  double latency = 0;
+  DescriptorSlabPool::SlabId reply_slab = DescriptorSlabPool::kNoSlab;
+  if (pull) {
+    ++stats_.messages_sent;
+    Rng& rng = network_->rng();
+    if (rng.chance(config_.drop_probability)) {
+      ++stats_.messages_dropped;
+    } else {
+      latency = config_.min_latency +
+                rng.uniform() * (config_.max_latency - config_.min_latency);
+      deliver_reply = true;
+      // Acquired before data(e.slab): acquire may move the pool's backing
+      // array, which would invalidate the request pointer below.
+      reply_slab = pool_.acquire();
+    }
+  }
+
+  NodeDescriptor* request = pool_.data(e.slab);
+  NodeDescriptor* reply_out = deliver_reply ? pool_.data(reply_slab) : nullptr;
+  const std::uint32_t reply_size = flat::handle_request(
+      arena, e.to, request, pool_.size(e.slab), reply_out, network_->spec(),
+      network_->options(), scratch_);
+  pool_.release(e.slab);
+  if (deliver_reply) {
+    pool_.set_size(reply_slab, reply_size);
+    push_event(now_ + latency, Kind::kReply, e.to, e.from, e.exchange_id,
+               reply_slab);
+  }
 }
 
-void EventEngine::on_reply(const Event& e) {
+void EventEngine::on_reply(const FlatEvent& e) {
   if (!network_->is_live(e.to) || !network_->can_communicate(e.from, e.to)) {
     ++stats_.messages_to_dead;
+    pool_.release(e.slab);
     return;
   }
   Pending& p = pending_[e.to];
   if (!p.active || p.exchange_id != e.exchange_id || p.deadline < now_) {
     ++stats_.replies_stale;
+    pool_.release(e.slab);
     return;
   }
   p.active = false;
-  network_->node(e.to).handle_reply(e.payload);
+  flat::handle_reply(network_->arena(), e.to, pool_.data(e.slab),
+                     pool_.size(e.slab), network_->spec(),
+                     network_->options(), scratch_);
+  pool_.release(e.slab);
   ++stats_.replies_delivered;
 }
 
-void EventEngine::run_until(double until) {
+void EventEngine::schedule_new_nodes() {
   // Nodes created since the last call get a first wake-up with a uniform
   // random phase inside one period, matching the skeleton's independent
   // per-node timers.
-  while (scheduled_nodes_ < network_->size()) {
+  const std::size_t n = network_->size();
+  if (scheduled_nodes_ >= n) return;
+  pending_.resize(n);
+  while (scheduled_nodes_ < n) {
     const NodeId id = static_cast<NodeId>(scheduled_nodes_++);
-    pending_.resize(network_->size());
-    Event first;
-    first.at = now_ + network_->rng().uniform() * config_.period;
-    first.kind = Kind::kWakeup;
-    first.to = id;
-    schedule(std::move(first));
+    const double at = now_ + network_->rng().uniform() * config_.period;
+    push_event(at, Kind::kWakeup, kInvalidNode, id, 0,
+               DescriptorSlabPool::kNoSlab);
   }
-  pending_.resize(network_->size());
+}
 
-  while (!queue_.empty() && queue_.top().at <= until) {
-    Event e = queue_.top();
-    queue_.pop();
-    now_ = e.at;
-    switch (e.kind) {
+void EventEngine::advance_to(double until) {
+  schedule_new_nodes();
+  const flat::NodeArena& arena = network_->arena();
+  while (const auto* item = queue_.pop_if_at_most(until)) {
+    now_ = item->at;
+    // The handler's arena touches are random reads over hundreds of MB at
+    // scale; warming the *next* event's target while this one is handled
+    // hides most of that latency (same trick as CycleEngine's lookahead).
+    // peek_hint is a scan-free guess — good enough for a prefetch.
+    if (const auto* hint = queue_.peek_hint()) {
+      arena.prefetch_node(hint->value.to);
+      if (hint->value.slab != DescriptorSlabPool::kNoSlab) {
+        pool_.prefetch(hint->value.slab);
+      }
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(pending_.data() + hint->value.to, 1, 1);
+#endif
+    }
+    const FlatEvent e = item->value;  // handlers push, which may repoint item
+    switch (static_cast<Kind>(e.kind)) {
       case Kind::kWakeup: on_wakeup(e.to); break;
       case Kind::kRequest: on_request(e); break;
       case Kind::kReply: on_reply(e); break;
     }
   }
   now_ = until;
+}
+
+void EventEngine::run_until(double until) {
+  advance_to(until);
+  // Explicit time targets re-anchor the cycle counter: subsequent
+  // run_cycles calls count whole periods from here.
+  tick_anchor_ = now_;
+  ticks_ = 0;
+}
+
+void EventEngine::run_cycles(std::size_t cycles) {
+  ticks_ += cycles;
+  advance_to(tick_anchor_ + static_cast<double>(ticks_) * config_.period);
 }
 
 }  // namespace pss::sim

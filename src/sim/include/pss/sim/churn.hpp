@@ -5,6 +5,11 @@
 // the churn_monitor example and churn tests: per cycle it removes a batch
 // of random live nodes and adds a batch of newcomers, each bootstrapped
 // from a configurable number of random live contacts.
+//
+// Cost: apply() is O(changes) — kills and contact draws sample the
+// network's incremental live-id pool (Network::live_ids()) instead of
+// rebuilding an O(N) live list per join, so churn no longer dominates the
+// cycle at 10^6 nodes.
 #pragma once
 
 #include <cstddef>

@@ -1,9 +1,9 @@
-// Asynchronous event-driven execution engine (extension).
+// Asynchronous event-driven execution engine on the flat simulation core.
 //
 // The paper's results come from a cycle-based simulator in which an
 // exchange is atomic. Real deployments interleave messages with latency,
-// losses and timeouts. EventEngine runs the *same* GossipNode logic over an
-// explicit discrete-event message layer:
+// losses and timeouts. EventEngine runs the *same* protocol mechanics over
+// an explicit discrete-event message layer:
 //   - each node's active thread fires every `period` time units, with a
 //     uniform random initial phase (as in the skeleton's wait(T));
 //   - every message (request or reply) experiences an independent uniform
@@ -15,14 +15,33 @@
 //
 // Tests use this engine to show the paper's conclusions are not artifacts
 // of the atomic-exchange model (convergence to the same small-world state).
+//
+// Execution runs entirely on the network's flat::NodeArena, mirroring what
+// CycleEngine did for the atomic model:
+//   - the scheduler is an index-based calendar queue (calendar_queue.hpp):
+//     O(1) amortized schedule/pop over ~N pending events instead of a
+//     global binary heap's O(log N) pointer-heavy sifts, with the exact
+//     (at, seq) pop order of the heap preserved;
+//   - message payloads are fixed-stride slabs in a recycling
+//     DescriptorSlabPool instead of heap-allocated View objects — an event
+//     record is 40 trivially-copyable bytes and steady state allocates
+//     nothing;
+//   - wakeup/request/reply handling goes straight at the arena slots via
+//     the flat_exchange request/reply split kernels, bypassing the
+//     GossipNode adapter (and its View materialization) on the hot path.
+// The original adapter-path implementation survives as LegacyEventEngine;
+// tests/event_engine_flat_test.cpp replays the two against each other
+// (identical seeds -> identical EventEngineStats and final views), which is
+// the contract that lets this engine keep evolving.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "pss/common/types.hpp"
-#include "pss/membership/view.hpp"
+#include "pss/membership/descriptor_slab_pool.hpp"
+#include "pss/membership/flat_ops.hpp"
+#include "pss/sim/calendar_queue.hpp"
 #include "pss/sim/network.hpp"
 
 namespace pss::sim {
@@ -51,13 +70,16 @@ class EventEngine {
   /// phase in [0, period). `network` must outlive the engine.
   EventEngine(Network& network, EventEngineConfig config);
 
-  /// Processes all events with timestamp <= until (exclusive of later ones).
+  /// Processes all events with timestamp <= until (exclusive of later ones),
+  /// and re-anchors the integer cycle counter at `until` (see run_cycles).
   void run_until(double until);
 
-  /// Convenience: advances by `cycles * period` time units.
-  void run_cycles(std::size_t cycles) {
-    run_until(now_ + static_cast<double>(cycles) * config_.period);
-  }
+  /// Advances by `cycles * period`. Wake targets are derived from an
+  /// integer tick counter anchored at the last explicit run_until (or
+  /// construction), i.e. anchor + total_ticks * period — one rounding per
+  /// call instead of the legacy now + cycles * period accumulation, whose
+  /// error compounds across repeated calls.
+  void run_cycles(std::size_t cycles);
 
   /// Current simulated time; run_until(t) leaves it at t.
   double now() const { return now_; }
@@ -65,24 +87,36 @@ class EventEngine {
   /// Aggregate counters since construction.
   const EventEngineStats& stats() const { return stats_; }
 
- private:
-  enum class Kind { kWakeup, kRequest, kReply };
+  // --- Introspection (tests, bench drivers) --------------------------------
 
-  struct Event {
-    double at = 0;
-    std::uint64_t seq = 0;  ///< tie-break for determinism
-    Kind kind = Kind::kWakeup;
+  /// Events currently scheduled (wake-ups + in-flight messages).
+  std::size_t queued_events() const { return queue_.size(); }
+
+  /// Message slabs ever created — the high-water mark of in-flight
+  /// messages; boundedness here is what "recycling" means.
+  std::size_t message_pool_slabs() const { return pool_.slab_count(); }
+
+  /// Message slabs currently attached to queued events.
+  std::size_t message_pool_in_use() const { return pool_.in_use(); }
+
+  /// Bytes resident in engine-owned state (calendar buckets, message pool,
+  /// pending table) — the engine's contribution on top of the network's
+  /// resident_bytes().
+  std::size_t resident_bytes() const {
+    return queue_.storage_bytes() + pool_.storage_bytes() +
+           pending_.capacity() * sizeof(Pending);
+  }
+
+ private:
+  enum class Kind : std::uint32_t { kWakeup, kRequest, kReply };
+
+  /// 24-byte trivially-copyable event record; payloads live in the pool.
+  struct FlatEvent {
     NodeId from = kInvalidNode;
     NodeId to = kInvalidNode;
+    DescriptorSlabPool::SlabId slab = DescriptorSlabPool::kNoSlab;
+    std::uint32_t kind = 0;
     std::uint64_t exchange_id = 0;  ///< matches replies to requests
-    View payload;
-  };
-
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
   };
 
   /// Per-node pull bookkeeping: which exchange is outstanding, with whom,
@@ -94,12 +128,14 @@ class EventEngine {
     bool active = false;
   };
 
-  void schedule(Event e);
-  void send(Kind kind, NodeId from, NodeId to, std::uint64_t exchange_id,
-            View payload);
+  void advance_to(double until);
+  void schedule_new_nodes();
+  void push_event(double at, Kind kind, NodeId from, NodeId to,
+                  std::uint64_t exchange_id, DescriptorSlabPool::SlabId slab);
+  void send_request(NodeId from, NodeId to, std::uint64_t exchange_id);
   void on_wakeup(NodeId node);
-  void on_request(const Event& e);
-  void on_reply(const Event& e);
+  void on_request(const FlatEvent& e);
+  void on_reply(const FlatEvent& e);
   void expire_pending(NodeId node);
 
   Network* network_;
@@ -108,9 +144,13 @@ class EventEngine {
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_exchange_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarQueue<FlatEvent> queue_;
+  DescriptorSlabPool pool_;
   std::vector<Pending> pending_;
+  flat::Scratch scratch_;            ///< exchange working memory, reused
   std::size_t scheduled_nodes_ = 0;  ///< nodes whose wake-up loop is running
+  double tick_anchor_ = 0;           ///< last explicit run_until target
+  std::uint64_t ticks_ = 0;          ///< run_cycles ticks since the anchor
 };
 
 }  // namespace pss::sim

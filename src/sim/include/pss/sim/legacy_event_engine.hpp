@@ -1,0 +1,100 @@
+// Reference asynchronous engine: the original object-graph implementation.
+//
+// This is the pre-flat EventEngine, frozen verbatim: one global
+// std::priority_queue of events, each message carrying a heap-allocated
+// View payload, and all node interaction routed through the GossipNode
+// adapter. It is retained for two jobs only:
+//   - the trace-equivalence suite (tests/event_engine_flat_test.cpp)
+//     replays it against the flat EventEngine under identical seeds — same
+//     EventEngineStats, same final views — which is what pins the flat
+//     engine's semantics;
+//   - bench/scale_async measures it as the recorded baseline the flat
+//     engine's events/s are compared against.
+// Do not use it for new work and do not "fix" it: its value is that it
+// does not move. Semantic changes belong in EventEngine with the
+// equivalence suite updated in lockstep.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/membership/view.hpp"
+#include "pss/sim/event_engine.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::sim {
+
+class LegacyEventEngine {
+ public:
+  /// Schedules an initial wake-up for every live node at a uniform random
+  /// phase in [0, period). `network` must outlive the engine.
+  LegacyEventEngine(Network& network, EventEngineConfig config);
+
+  /// Processes all events with timestamp <= until (exclusive of later ones).
+  void run_until(double until);
+
+  /// Convenience: advances by `cycles * period` time units. Kept with the
+  /// original floating-point accumulation (now + cycles * period per call);
+  /// the flat engine's run_cycles fixes the drift, which is why equivalence
+  /// traces drive both engines through run_until with identical targets.
+  void run_cycles(std::size_t cycles) {
+    run_until(now_ + static_cast<double>(cycles) * config_.period);
+  }
+
+  /// Current simulated time; run_until(t) leaves it at t.
+  double now() const { return now_; }
+
+  /// Aggregate counters since construction.
+  const EventEngineStats& stats() const { return stats_; }
+
+ private:
+  enum class Kind { kWakeup, kRequest, kReply };
+
+  struct Event {
+    double at = 0;
+    std::uint64_t seq = 0;  ///< tie-break for determinism
+    Kind kind = Kind::kWakeup;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    std::uint64_t exchange_id = 0;  ///< matches replies to requests
+    View payload;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Per-node pull bookkeeping: which exchange is outstanding, with whom,
+  /// and until when the reply is acceptable.
+  struct Pending {
+    std::uint64_t exchange_id = 0;
+    NodeId peer = kInvalidNode;
+    double deadline = -1.0;
+    bool active = false;
+  };
+
+  void schedule(Event e);
+  void send(Kind kind, NodeId from, NodeId to, std::uint64_t exchange_id,
+            View payload);
+  void on_wakeup(NodeId node);
+  void on_request(const Event& e);
+  void on_reply(const Event& e);
+  void expire_pending(NodeId node);
+
+  Network* network_;
+  EventEngineConfig config_;
+  EventEngineStats stats_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_exchange_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Pending> pending_;
+  std::size_t scheduled_nodes_ = 0;  ///< nodes whose wake-up loop is running
+};
+
+}  // namespace pss::sim

@@ -9,10 +9,15 @@
 // vectors of Rng streams and counters — instead of per-node objects with
 // per-node heap allocations. The GossipNode objects handed out by node()
 // are thin adapters over arena slots (kept in a parallel vector so the
-// `GossipNode&` accessor stays reference-stable); CycleEngine bypasses them
-// and batches exchanges directly over the arena. The arena lives behind a
+// `GossipNode&` accessor stays reference-stable); the engines bypass them
+// and run exchanges directly over the arena. The arena lives behind a
 // unique_ptr so moving a Network never invalidates the adapters' back
 // pointers.
+//
+// Liveness is tracked twice: a per-slot byte (the O(1) is_live lookup the
+// engines hit on every contact) and an incremental swap-remove pool of live
+// ids (live_ids()), so sampling k live nodes — churn joins, kill_random —
+// is O(k) instead of a fresh O(N) list build per cycle.
 #pragma once
 
 #include <cstdint>
@@ -55,7 +60,7 @@ class Network {
   std::size_t size() const { return adapters_.size(); }
 
   /// Number of currently live nodes.
-  std::size_t live_count() const { return live_count_; }
+  std::size_t live_count() const { return live_ids_.size(); }
 
   GossipNode& node(NodeId id);
   const GossipNode& node(NodeId id) const;
@@ -80,11 +85,21 @@ class Network {
   /// Brings a dead node back with an empty view (a rejoin must re-bootstrap).
   void revive(NodeId id);
 
-  /// Kills a uniform random sample of `count` live nodes.
+  /// Kills a uniform random sample of `count` live nodes. O(count) via the
+  /// incremental live-id pool.
   void kill_random(std::size_t count, Rng& rng);
 
-  /// Addresses of all live nodes, ascending.
+  /// Addresses of all live nodes, ascending. Allocates and scans every
+  /// slot; per-cycle callers (churn, engines) should sample live_ids()
+  /// instead.
   std::vector<NodeId> live_nodes() const;
+
+  /// The incremental live-id pool: every live address exactly once, in
+  /// UNSPECIFIED order (kills swap-remove, so churn perturbs it). O(1) to
+  /// read, maintained incrementally by add/kill/revive — this is what makes
+  /// per-cycle churn O(changes) instead of O(N). The span is invalidated by
+  /// any membership change (add_node, kill, revive).
+  std::span<const NodeId> live_ids() const { return live_ids_; }
 
   /// Total descriptors across live nodes' views that point at dead nodes
   /// (the paper's "overall dead links" metric, Figure 7).
@@ -137,8 +152,13 @@ class Network {
   std::vector<GossipNode> adapters_;
   std::vector<std::uint8_t> live_;
   std::vector<std::uint32_t> group_;
-  std::size_t live_count_ = 0;
+  // Swap-remove live-id pool: live_ids_ holds every live address once;
+  // live_pos_[id] is its index in live_ids_ (kNotLive when dead).
+  std::vector<NodeId> live_ids_;
+  std::vector<std::uint32_t> live_pos_;
   bool partitioned_ = false;
+
+  static constexpr std::uint32_t kNotLive = ~std::uint32_t{0};
 };
 
 }  // namespace pss::sim

@@ -1,0 +1,132 @@
+#include "pss/sim/legacy_event_engine.hpp"
+
+#include "pss/common/check.hpp"
+
+namespace pss::sim {
+
+LegacyEventEngine::LegacyEventEngine(Network& network, EventEngineConfig config)
+    : network_(&network), config_(config) {
+  PSS_CHECK_MSG(config_.period > 0, "period must be positive");
+  PSS_CHECK_MSG(config_.min_latency >= 0 &&
+                    config_.min_latency <= config_.max_latency,
+                "latency bounds must satisfy 0 <= min <= max");
+  PSS_CHECK_MSG(config_.drop_probability >= 0 && config_.drop_probability <= 1,
+                "drop probability must be in [0,1]");
+}
+
+void LegacyEventEngine::schedule(Event e) {
+  e.seq = next_seq_++;
+  queue_.push(std::move(e));
+}
+
+void LegacyEventEngine::send(Kind kind, NodeId from, NodeId to,
+                             std::uint64_t exchange_id, View payload) {
+  ++stats_.messages_sent;
+  Rng& rng = network_->rng();
+  if (rng.chance(config_.drop_probability)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const double latency =
+      config_.min_latency +
+      rng.uniform() * (config_.max_latency - config_.min_latency);
+  Event e;
+  e.at = now_ + latency;
+  e.kind = kind;
+  e.from = from;
+  e.to = to;
+  e.exchange_id = exchange_id;
+  e.payload = std::move(payload);
+  schedule(std::move(e));
+}
+
+void LegacyEventEngine::expire_pending(NodeId node) {
+  Pending& p = pending_[node];
+  if (p.active && p.deadline < now_) {
+    // The pull reply never arrived in time: treat as a failed contact.
+    network_->node(node).on_contact_failure(p.peer);
+    p.active = false;
+  }
+}
+
+void LegacyEventEngine::on_wakeup(NodeId id) {
+  // Re-arm the periodic timer first so a node keeps its phase forever.
+  Event next;
+  next.at = now_ + config_.period;
+  next.kind = Kind::kWakeup;
+  next.to = id;
+  schedule(std::move(next));
+
+  if (!network_->is_live(id)) return;
+  ++stats_.wakeups;
+  GossipNode& node = network_->node(id);
+  expire_pending(id);
+
+  node.age_view();  // once-per-period aging (timestamp semantics)
+  auto peer = node.select_peer();
+  if (!peer) return;
+  node.note_initiated();
+
+  const std::uint64_t exchange_id = next_exchange_++;
+  if (node.spec().pull()) {
+    // Starting a new exchange supersedes any outstanding one.
+    if (pending_[id].active) ++stats_.replies_stale;
+    pending_[id] = {exchange_id, *peer, now_ + config_.reply_timeout, true};
+  }
+  send(Kind::kRequest, id, *peer, exchange_id, node.make_active_buffer());
+}
+
+void LegacyEventEngine::on_request(const Event& e) {
+  if (!network_->is_live(e.to) || !network_->can_communicate(e.from, e.to)) {
+    ++stats_.messages_to_dead;
+    return;
+  }
+  GossipNode& node = network_->node(e.to);
+  auto reply = node.handle_message(e.payload);
+  if (reply) send(Kind::kReply, e.to, e.from, e.exchange_id, std::move(*reply));
+}
+
+void LegacyEventEngine::on_reply(const Event& e) {
+  if (!network_->is_live(e.to) || !network_->can_communicate(e.from, e.to)) {
+    ++stats_.messages_to_dead;
+    return;
+  }
+  Pending& p = pending_[e.to];
+  if (!p.active || p.exchange_id != e.exchange_id || p.deadline < now_) {
+    ++stats_.replies_stale;
+    return;
+  }
+  p.active = false;
+  network_->node(e.to).handle_reply(e.payload);
+  ++stats_.replies_delivered;
+}
+
+void LegacyEventEngine::run_until(double until) {
+  // Nodes created since the last call get a first wake-up with a uniform
+  // random phase inside one period, matching the skeleton's independent
+  // per-node timers.
+  while (scheduled_nodes_ < network_->size()) {
+    const NodeId id = static_cast<NodeId>(scheduled_nodes_++);
+    pending_.resize(network_->size());
+    Event first;
+    first.at = now_ + network_->rng().uniform() * config_.period;
+    first.kind = Kind::kWakeup;
+    first.to = id;
+    schedule(std::move(first));
+  }
+  pending_.resize(network_->size());
+
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.at;
+    switch (e.kind) {
+      case Kind::kWakeup: on_wakeup(e.to); break;
+      case Kind::kRequest: on_request(e); break;
+      case Kind::kReply: on_reply(e); break;
+    }
+  }
+  now_ = until;
+}
+
+}  // namespace pss::sim

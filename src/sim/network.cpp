@@ -17,7 +17,8 @@ NodeId Network::add_node() {
   adapters_.emplace_back(id, spec_, options_, arena_.get(), id);
   live_.push_back(1);
   group_.push_back(0);
-  ++live_count_;
+  live_pos_.push_back(static_cast<std::uint32_t>(live_ids_.size()));
+  live_ids_.push_back(id);
   return id;
 }
 
@@ -34,6 +35,8 @@ void Network::reserve_nodes(std::size_t n) {
   adapters_.reserve(n);
   live_.reserve(n);
   group_.reserve(n);
+  live_ids_.reserve(n);
+  live_pos_.reserve(n);
 }
 
 GossipNode& Network::node(NodeId id) {
@@ -55,7 +58,14 @@ void Network::kill(NodeId id) {
   PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
   if (live_[id]) {
     live_[id] = 0;
-    --live_count_;
+    // Swap-remove from the live-id pool; the displaced tail id keeps the
+    // pool dense so uniform sampling stays an array index.
+    const std::uint32_t pos = live_pos_[id];
+    const NodeId tail = live_ids_.back();
+    live_ids_[pos] = tail;
+    live_pos_[tail] = pos;
+    live_ids_.pop_back();
+    live_pos_[id] = kNotLive;
   }
 }
 
@@ -63,21 +73,27 @@ void Network::revive(NodeId id) {
   PSS_CHECK_MSG(id < adapters_.size(), "node id out of range");
   if (!live_[id]) {
     live_[id] = 1;
-    ++live_count_;
+    live_pos_[id] = static_cast<std::uint32_t>(live_ids_.size());
+    live_ids_.push_back(id);
     arena_->views.clear(id);
   }
 }
 
 void Network::kill_random(std::size_t count, Rng& rng) {
-  auto live = live_nodes();
-  PSS_CHECK_MSG(count <= live.size(), "cannot kill more nodes than are live");
-  auto picks = rng.sample_indices(live.size(), count);
-  for (std::size_t i : picks) kill(live[i]);
+  PSS_CHECK_MSG(count <= live_ids_.size(),
+                "cannot kill more nodes than are live");
+  auto picks = rng.sample_indices(live_ids_.size(), count);
+  // Snapshot the victims first: each kill() swap-removes and would shift
+  // later picked positions under us.
+  std::vector<NodeId> victims;
+  victims.reserve(count);
+  for (std::size_t i : picks) victims.push_back(live_ids_[i]);
+  for (NodeId id : victims) kill(id);
 }
 
 std::vector<NodeId> Network::live_nodes() const {
   std::vector<NodeId> out;
-  out.reserve(live_count_);
+  out.reserve(live_ids_.size());
   for (NodeId id = 0; id < live_.size(); ++id) {
     if (live_[id]) out.push_back(id);
   }
@@ -134,7 +150,9 @@ std::size_t Network::resident_bytes() const {
          arena_->stats.capacity() * sizeof(NodeStats) +
          adapters_.capacity() * sizeof(GossipNode) +
          live_.capacity() * sizeof(std::uint8_t) +
-         group_.capacity() * sizeof(std::uint32_t);
+         group_.capacity() * sizeof(std::uint32_t) +
+         live_ids_.capacity() * sizeof(NodeId) +
+         live_pos_.capacity() * sizeof(std::uint32_t);
 }
 
 }  // namespace pss::sim
