@@ -1,0 +1,245 @@
+// Thread-scaling driver for the sharded parallel cycle engine.
+//
+// For each network size it records the sequential CycleEngine baseline,
+// then ParallelCycleEngine runs across a thread ladder in both policies
+// (Deterministic — bit-identical to the baseline, verified in-run by a
+// state digest — and Relaxed), appending machine-readable results to
+// BENCH_parallel.json. Every run stands up an identical freshly-seeded
+// network, so digests and throughputs are directly comparable.
+//
+// Knobs (see docs/PERFORMANCE.md):
+//   PSS_PAR_NS      comma-separated network sizes     (default 1000000)
+//   PSS_PAR_THREADS comma-separated thread counts     (default 1,2,4,8)
+//   PSS_CYCLES      cycles per run                    (default 10)
+//   PSS_C           view size c                       (default 30)
+//   PSS_SEED        master seed                       (default 42)
+//   PSS_PAR_JSON    output path                 (default BENCH_parallel.json)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pss/common/env.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+#include "pss/sim/network.hpp"
+#include "pss/sim/parallel_cycle_engine.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<std::size_t> parse_list(const std::string& text,
+                                    const char* knob) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string token =
+        text.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!token.empty()) {
+      std::size_t consumed = 0;
+      unsigned long long value = 0;
+      // Digits only up front: stoull would otherwise accept "-1" by
+      // wraparound and "  7" by skipping whitespace.
+      const bool digits_only =
+          token.find_first_not_of("0123456789") == std::string::npos;
+      try {
+        if (digits_only) value = std::stoull(token, &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      if (consumed != token.size() || value == 0) {
+        std::fprintf(stderr,
+                     "%s: bad entry '%s' (want a comma-separated list of "
+                     "positive integers)\n",
+                     knob, token.c_str());
+        std::exit(1);
+      }
+      out.push_back(static_cast<std::size_t>(value));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// FNV-1a over every slot's liveness, view size, descriptors, exchange
+/// counters and Rng stream position: equal digests <=> equal final
+/// states under the deterministic contract (views, per-node stats, and
+/// per-node Rng consumption — a divergence in any of them, e.g. a
+/// dropped `initiated` increment or a desynchronized stream, flips the
+/// digest even when the views happen to agree). The per-node view size
+/// is mixed in as framing so a descriptor cannot silently migrate across
+/// a node boundary while hashing the same value sequence. Cheap enough
+/// for 10^6 nodes.
+std::uint64_t state_digest(const pss::sim::Network& net) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  const pss::flat::NodeArena& arena = net.arena();
+  for (pss::NodeId id = 0; id < net.size(); ++id) {
+    const auto view = net.view_span(id);
+    mix((static_cast<std::uint64_t>(view.size()) << 1) |
+        (net.is_live(id) ? 1 : 0));
+    for (const auto& d : view) {
+      mix((static_cast<std::uint64_t>(d.hop_count) << 32) | d.address);
+    }
+    const pss::NodeStats& s = arena.stats[id];
+    mix(s.initiated);
+    mix(s.received);
+    mix(s.replies_sent);
+    mix(s.contact_failures);
+    // Probe the stream position without perturbing it: Rng is a value
+    // type, so drawing from a copy leaves the node's stream untouched.
+    pss::Rng probe = arena.rngs[id];
+    mix(probe());
+  }
+  return h;
+}
+
+struct RunResult {
+  std::string mode;  // "sequential" | "deterministic" | "relaxed"
+  std::size_t n = 0;
+  unsigned threads = 1;
+  double run_seconds = 0;
+  double exchanges_per_second = 0;
+  double speedup = 1.0;  // vs the sequential baseline at the same n
+  std::uint64_t exchanges = 0;
+  std::uint64_t digest = 0;
+  bool matches_sequential = false;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pss;
+
+  const auto sizes =
+      parse_list(env::get("PSS_PAR_NS").value_or("1000000"), "PSS_PAR_NS");
+  const auto threads_list = parse_list(
+      env::get("PSS_PAR_THREADS").value_or("1,2,4,8"), "PSS_PAR_THREADS");
+  const auto cycles = static_cast<Cycle>(env::get_int("PSS_CYCLES", 10));
+  const auto c = static_cast<std::size_t>(env::get_int("PSS_C", 30));
+  const auto seed = static_cast<std::uint64_t>(env::get_int("PSS_SEED", 42));
+  const std::string out_path =
+      env::get("PSS_PAR_JSON").value_or("BENCH_parallel.json");
+
+  const ProtocolSpec spec = ProtocolSpec::newscast();
+  std::vector<RunResult> results;
+
+  std::printf("scale_parallel: spec=%s c=%zu cycles=%u seed=%llu\n",
+              spec.name().c_str(), c, cycles,
+              static_cast<unsigned long long>(seed));
+
+  auto make_net = [&](std::size_t n) {
+    sim::Network net(spec, ProtocolOptions{c, false}, seed);
+    net.reserve_nodes(n);
+    net.add_nodes(n);
+    sim::bootstrap::init_random(net);
+    return net;
+  };
+
+  for (const std::size_t n : sizes) {
+    // Sequential baseline.
+    RunResult base;
+    base.mode = "sequential";
+    base.n = n;
+    {
+      sim::Network net = make_net(n);
+      sim::CycleEngine engine(net);
+      const auto t = Clock::now();
+      engine.run(cycles);
+      base.run_seconds = seconds_since(t);
+      base.exchanges = engine.stats().exchanges;
+      base.exchanges_per_second =
+          static_cast<double>(base.exchanges) / base.run_seconds;
+      base.digest = state_digest(net);
+      base.matches_sequential = true;
+    }
+    std::printf("  n=%-8zu %-13s t=%u  %6.2fs  %10.0f exch/s\n", n,
+                base.mode.c_str(), base.threads, base.run_seconds,
+                base.exchanges_per_second);
+    results.push_back(base);
+
+    for (const char* mode : {"deterministic", "relaxed"}) {
+      const sim::ParallelPolicy policy =
+          std::string(mode) == "deterministic"
+              ? sim::ParallelPolicy::kDeterministic
+              : sim::ParallelPolicy::kRelaxed;
+      for (const std::size_t t_count : threads_list) {
+        RunResult r;
+        r.mode = mode;
+        r.n = n;
+        r.threads = static_cast<unsigned>(t_count);
+        sim::Network net = make_net(n);
+        sim::ParallelCycleEngine engine(net, {r.threads, policy});
+        const auto t = Clock::now();
+        engine.run(cycles);
+        r.run_seconds = seconds_since(t);
+        r.exchanges = engine.stats().exchanges;
+        r.exchanges_per_second =
+            static_cast<double>(r.exchanges) / r.run_seconds;
+        r.speedup = base.run_seconds / r.run_seconds;
+        r.digest = state_digest(net);
+        r.matches_sequential = r.digest == base.digest;
+        if (policy == sim::ParallelPolicy::kDeterministic &&
+            !r.matches_sequential) {
+          // The equivalence contract is checked on every bench run, not
+          // just in the test suite: a digest mismatch is a hard failure.
+          std::fprintf(stderr,
+                       "FATAL: deterministic run (n=%zu, threads=%u) "
+                       "diverged from the sequential baseline\n",
+                       n, r.threads);
+          return 1;
+        }
+        std::printf(
+            "  n=%-8zu %-13s t=%u  %6.2fs  %10.0f exch/s  %4.2fx%s\n", n,
+            r.mode.c_str(), r.threads, r.run_seconds, r.exchanges_per_second,
+            r.speedup, r.matches_sequential ? "  (=seq)" : "");
+        results.push_back(r);
+      }
+    }
+  }
+
+  std::ofstream json(out_path);
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"scale_parallel\",\n"
+       << "  \"spec\": \"" << spec.name() << "\",\n"
+       << "  \"view_size\": " << c << ",\n"
+       << "  \"cycles\": " << cycles << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\n"
+         << "      \"mode\": \"" << r.mode << "\",\n"
+         << "      \"n\": " << r.n << ",\n"
+         << "      \"threads\": " << r.threads << ",\n"
+         << "      \"run_seconds\": " << r.run_seconds << ",\n"
+         << "      \"exchanges_per_second\": " << r.exchanges_per_second
+         << ",\n"
+         << "      \"speedup_vs_sequential\": " << r.speedup << ",\n"
+         << "      \"exchanges\": " << r.exchanges << ",\n"
+         << "      \"state_digest\": " << r.digest << ",\n"
+         << "      \"matches_sequential\": "
+         << (r.matches_sequential ? "true" : "false") << "\n"
+         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

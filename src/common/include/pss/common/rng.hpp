@@ -132,6 +132,19 @@ class Rng {
   /// from the parent and from each other by SplitMix64 remixing.
   Rng split();
 
+  /// Counter-based stream derivation: a fresh generator for draw index
+  /// `counter` of logical stream `stream` under `seed`. Pure function of its
+  /// arguments — no shared state is read or advanced — so concurrent callers
+  /// can derive generators for different (stream, counter) pairs without
+  /// synchronization, and the values a stream produces depend only on how
+  /// often *it* was used, never on global interleaving. This is the RNG
+  /// story of the parallel cycle engine's Relaxed mode (each node draws from
+  /// stream = node id, counter = its own participation count); the
+  /// Deterministic mode keeps the sequential per-node `split()` streams,
+  /// which its conflict schedule serializes exactly.
+  static Rng stream_at(std::uint64_t seed, std::uint64_t stream,
+                       std::uint64_t counter);
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

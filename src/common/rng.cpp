@@ -43,4 +43,15 @@ Rng Rng::split() {
   return Rng(child_seed);
 }
 
+Rng Rng::stream_at(std::uint64_t seed, std::uint64_t stream,
+                   std::uint64_t counter) {
+  // Absorb each input through a full SplitMix64 round before folding in the
+  // next, so tuples differing in any single component (including by small
+  // deltas, the common case for counters) land in decorrelated states.
+  std::uint64_t state = seed;
+  state = splitmix64(state) ^ stream;
+  state = splitmix64(state) ^ counter;
+  return Rng(splitmix64(state));
+}
+
 }  // namespace pss

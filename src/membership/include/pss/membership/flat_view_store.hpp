@@ -18,10 +18,15 @@
 //       storage boundary: assign() rejects oversized views. Merge buffers
 //       never live in the store — they live in flat::Scratch.
 //
-// Versioning: every mutation stamps the slot with a globally monotonic
-// counter. The GossipNode adapter uses the stamp to cache a materialized
-// View for the legacy `const View&` accessor without re-copying on every
-// call; nothing on the exchange hot path reads the stamps.
+// Versioning: every mutation bumps a per-slot counter (starting at 1 when
+// the slot is created). The GossipNode adapter uses the stamp to cache a
+// materialized View for the legacy `const View&` accessor without
+// re-copying on every call; nothing on the exchange hot path reads the
+// stamps. The counters are per-slot — not one global counter — so that
+// threads of the parallel cycle engine mutating disjoint slots never share
+// a memory location: every FlatViewStore mutator touches only the slot it
+// is given, which is the storage half of the engine's race-freedom
+// argument (see pss/sim/parallel_cycle_engine.hpp).
 #pragma once
 
 #include <cstddef>
@@ -58,7 +63,7 @@ class FlatViewStore {
     const NodeId slot = static_cast<NodeId>(sizes_.size());
     slots_.resize(slots_.size() + capacity_);
     sizes_.push_back(0);
-    versions_.push_back(++global_version_);
+    versions_.push_back(1);
     return slot;
   }
 
@@ -74,7 +79,8 @@ class FlatViewStore {
     return sizes_[slot];
   }
 
-  /// Change stamp of a slot; strictly increases across mutations.
+  /// Change stamp of a slot; strictly increases across mutations of that
+  /// slot (mutating one slot never stamps another).
   std::uint64_t version(NodeId slot) const {
     PSS_DCHECK(slot < versions_.size());
     return versions_[slot];
@@ -127,13 +133,12 @@ class FlatViewStore {
   }
 
  private:
-  void touch(NodeId slot) { versions_[slot] = ++global_version_; }
+  void touch(NodeId slot) { ++versions_[slot]; }
 
   std::size_t capacity_;
   std::vector<NodeDescriptor> slots_;   ///< node_count * capacity, SoA block
   std::vector<std::uint32_t> sizes_;    ///< live prefix length per slot
   std::vector<std::uint64_t> versions_; ///< change stamp per slot
-  std::uint64_t global_version_ = 0;
 };
 
 }  // namespace pss

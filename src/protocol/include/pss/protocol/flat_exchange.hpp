@@ -189,9 +189,14 @@ inline void handle_reply(NodeArena& arena, NodeId active,
 ///   if (pull) active.handle_reply(*reply);
 /// including the order of stats updates and Rng consumption. The caller has
 /// already aged the active view, selected `passive` and checked liveness.
-inline void run_exchange(NodeArena& arena, NodeId active, NodeId passive,
-                         const ProtocolSpec& spec,
-                         const ProtocolOptions& options, Scratch& scratch) {
+/// The two sides' random draws come from `active_rng`/`passive_rng`, which
+/// are the arena's per-node streams on the sequential and deterministic
+/// parallel paths (see run_exchange below) and counter-derived throwaway
+/// generators in the parallel engine's Relaxed mode.
+inline void run_exchange_with(NodeArena& arena, NodeId active, NodeId passive,
+                              const ProtocolSpec& spec,
+                              const ProtocolOptions& options, Scratch& scratch,
+                              Rng& active_rng, Rng& passive_rng) {
   FlatViewStore& store = arena.views;
   make_active_buffer(store.view_of(active), active, spec.push(),
                      scratch.buffer);
@@ -205,13 +210,21 @@ inline void run_exchange(NodeArena& arena, NodeId active, NodeId passive,
                        scratch.reply);
     ++arena.stats[passive].replies_sent;
   }
-  absorb(store, passive, passive, spec, options, scratch.buffer,
-         arena.rngs[passive], scratch, /*age_incoming=*/1);
+  absorb(store, passive, passive, spec, options, scratch.buffer, passive_rng,
+         scratch, /*age_incoming=*/1);
   // Active thread tail (handle_reply): merge the aged reply and select.
   if (pull) {
-    absorb(store, active, active, spec, options, scratch.reply,
-           arena.rngs[active], scratch, /*age_incoming=*/1);
+    absorb(store, active, active, spec, options, scratch.reply, active_rng,
+           scratch, /*age_incoming=*/1);
   }
+}
+
+/// run_exchange_with on the arena's own per-node Rng streams.
+inline void run_exchange(NodeArena& arena, NodeId active, NodeId passive,
+                         const ProtocolSpec& spec,
+                         const ProtocolOptions& options, Scratch& scratch) {
+  run_exchange_with(arena, active, passive, spec, options, scratch,
+                    arena.rngs[active], arena.rngs[passive]);
 }
 
 }  // namespace pss::flat

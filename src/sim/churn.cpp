@@ -1,9 +1,8 @@
 #include "pss/sim/churn.hpp"
 
 #include <algorithm>
-#include <vector>
 
-#include "pss/membership/view.hpp"
+#include "pss/membership/node_descriptor.hpp"
 
 namespace pss::sim {
 
@@ -19,6 +18,7 @@ void ChurnModel::apply(Network& network) {
     network.kill_random(kills, rng_);
     stats_.left += kills;
   }
+  const std::size_t c = network.options().view_size;
   for (std::size_t j = 0; j < config_.joins_per_cycle; ++j) {
     // Bootstrap contacts come straight from the incremental live-id pool —
     // O(contacts) per join — re-read each iteration because add_node below
@@ -27,12 +27,19 @@ void ChurnModel::apply(Network& network) {
     const auto live = network.live_ids();
     const std::size_t contacts =
         std::min(config_.contacts_per_join, live.size());
-    auto picks = rng_.sample_indices(live.size(), contacts);
-    std::vector<NodeDescriptor> entries;
-    entries.reserve(contacts);
-    for (std::size_t p : picks) entries.push_back({live[p], 0});
+    rng_.sample_indices_into(live.size(), contacts, picks_, fy_);
+    // Flat join: the newcomer's bootstrap view goes straight into its arena
+    // slot. The picks are distinct pool positions and every descriptor is
+    // hop 0, so normalization (I1/I2) is a single address sort — the same
+    // view the historical GossipNode::init_view(View(...)) path produced
+    // (normalize, drop self — the newcomer is not in the pool it was drawn
+    // from — truncate to c), with zero per-join heap allocation.
+    entries_.clear();
+    for (std::size_t p : picks_) entries_.push_back({live[p], 0});
+    std::sort(entries_.begin(), entries_.end(), ByHopThenAddress{});
+    if (entries_.size() > c) entries_.resize(c);
     const NodeId newcomer = network.add_node();
-    network.node(newcomer).init_view(View(std::move(entries)));
+    network.arena().views.assign(newcomer, entries_);
     ++stats_.joined;
   }
 }

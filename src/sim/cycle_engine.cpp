@@ -1,6 +1,6 @@
 #include "pss/sim/cycle_engine.hpp"
 
-#include "pss/protocol/flat_exchange.hpp"
+#include "pss/sim/cycle_step.hpp"
 
 namespace pss::sim {
 
@@ -30,41 +30,15 @@ void CycleEngine::run_cycle() {
     // A node killed mid-cycle (only possible via external injection between
     // cycles in the current API, but cheap to guard) is skipped.
     if (!network_->is_live(initiator)) continue;
-    initiate_exchange(initiator);
+    // The shared two-phase body, back to back (see cycle_step.hpp).
+    const CycleStep step = select_cycle_step(*network_, initiator);
+    execute_cycle_step(*network_, step, scratch_, stats_);
   }
   ++cycle_;
 }
 
 void CycleEngine::run(Cycle cycles) {
   for (Cycle i = 0; i < cycles; ++i) run_cycle();
-}
-
-void CycleEngine::initiate_exchange(NodeId initiator) {
-  flat::NodeArena& arena = network_->arena();
-  // Once-per-cycle aging (timestamp semantics; see gossip_node.hpp).
-  arena.views.age(initiator);
-  auto peer = flat::select_peer(arena.views.view_of(initiator),
-                                network_->spec().peer_selection,
-                                arena.rngs[initiator]);
-  if (!peer) {
-    ++stats_.empty_views;
-    return;
-  }
-  // The passive side is known only now; start pulling its state in while
-  // the active buffer is being built.
-  arena.prefetch_node(*peer);
-  ++arena.stats[initiator].initiated;
-  if (!network_->is_live(*peer) ||
-      !network_->can_communicate(initiator, *peer)) {
-    // Dead peer or a network partition between the two: the exchange is
-    // silently lost either way.
-    flat::contact_failure(arena, initiator, *peer, network_->options());
-    ++stats_.failed_contacts;
-    return;
-  }
-  flat::run_exchange(arena, initiator, *peer, network_->spec(),
-                     network_->options(), scratch_);
-  ++stats_.exchanges;
 }
 
 }  // namespace pss::sim

@@ -8,13 +8,19 @@
 //
 // Cost: apply() is O(changes) — kills and contact draws sample the
 // network's incremental live-id pool (Network::live_ids()) instead of
-// rebuilding an O(N) live list per join, so churn no longer dominates the
-// cycle at 10^6 nodes.
+// rebuilding an O(N) live list per join, and each join writes its bootstrap
+// descriptors straight into the newcomer's arena slot (no GossipNode
+// adapter, no heap View; the contact vectors are reused across joins), so
+// steady-state churn performs no per-join allocation and stays O(changes)
+// at 10^6 nodes. tests/churn_test.cpp pins the flat join path against the
+// historical init_view(View(...)) path descriptor for descriptor.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "pss/common/rng.hpp"
+#include "pss/membership/node_descriptor.hpp"
 #include "pss/sim/network.hpp"
 
 namespace pss::sim {
@@ -49,6 +55,10 @@ class ChurnModel {
   ChurnConfig config_;
   Rng rng_;
   ChurnStats stats_;
+  // Reused join buffers: contact draws and the newcomer's bootstrap view.
+  std::vector<std::size_t> picks_;
+  std::vector<std::size_t> fy_;
+  std::vector<NodeDescriptor> entries_;
 };
 
 }  // namespace pss::sim

@@ -15,11 +15,15 @@
 //
 // Execution is batched over the network's flat arena: the permutation is
 // built in a reused buffer, the next initiator's view slot is prefetched
-// one step ahead, and each exchange runs through the shared flat_exchange
-// routines with a persistent Scratch — zero per-exchange heap allocation in
-// steady state. The result is bit-identical to driving the GossipNode
-// adapter methods one message at a time (same Rng streams, same order);
+// one step ahead, and each exchange runs through the shared per-step body
+// in cycle_step.hpp (selection, then aging + the flat_exchange routines)
+// with a persistent Scratch — zero per-exchange heap allocation in steady
+// state. The result is bit-identical to driving the GossipNode adapter
+// methods one message at a time (same Rng streams, same order);
 // tests/flat_view_store_test.cpp replays both paths against each other.
+// ParallelCycleEngine runs the same body sharded across threads and is in
+// turn pinned bit-identical to this engine by
+// tests/parallel_cycle_engine_test.cpp.
 #pragma once
 
 #include <cstdint>
@@ -27,16 +31,10 @@
 
 #include "pss/common/types.hpp"
 #include "pss/membership/flat_ops.hpp"
+#include "pss/sim/cycle_step.hpp"
 #include "pss/sim/network.hpp"
 
 namespace pss::sim {
-
-/// Aggregate counters over the whole run.
-struct EngineStats {
-  std::uint64_t exchanges = 0;        ///< completed active-passive exchanges
-  std::uint64_t failed_contacts = 0;  ///< attempts that hit a dead node
-  std::uint64_t empty_views = 0;      ///< nodes that had nobody to contact
-};
 
 class CycleEngine {
  public:
@@ -56,8 +54,6 @@ class CycleEngine {
   const EngineStats& stats() const { return stats_; }
 
  private:
-  void initiate_exchange(NodeId initiator);
-
   Network* network_;
   Cycle cycle_ = 0;
   EngineStats stats_;

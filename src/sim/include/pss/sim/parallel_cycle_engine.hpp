@@ -1,0 +1,119 @@
+// Sharded parallel execution of the paper's cycle model.
+//
+// The sequential CycleEngine is memory-bound at 10⁶ nodes: each exchange
+// touches two random ~300 B slots, and one thread cannot cover the miss
+// latency. This engine runs the same per-step body (cycle_step.hpp) on a
+// persistent thread pool, under one of two documented semantics:
+//
+// ParallelPolicy::kDeterministic — the equivalence mode. A
+// ConflictScheduler carves each cycle's permutation into contiguous,
+// conflict-free batches; peer selection runs on the scanning thread at
+// every step's exact sequential position, batch bodies run on the pool
+// behind a barrier. Two steps commute unless they share a node, every
+// conflicting pair stays in permutation order, and each node's state —
+// including its per-node Rng stream, whose draws are serialized by the
+// claims — sees exactly the sequential schedule. Result: bit-identical
+// stats and final views to CycleEngine at ANY thread count (pinned across
+// all 8 evaluated protocols by tests/parallel_cycle_engine_test.cpp). The
+// price is the sequential scan: selection + scheduling stay on one thread,
+// so Amdahl caps the speedup (docs/PERFORMANCE.md quantifies it).
+//
+// ParallelPolicy::kRelaxed — the throughput mode, an explicit semantics
+// variant (like the cycle/event split): the permutation is sharded across
+// lanes and every node is guarded by a per-node spinlock; an exchange
+// locks its initiator, draws the peer, then locks the (initiator, peer)
+// pair in address order. Exchanges that share a node serialize in
+// whatever order the lanes reach them, so runs are *not* reproducible —
+// the equivalence guarantee is traded for scan-free scaling. What is
+// still guaranteed: freedom from data races (every slot access happens
+// under its node's lock — the TSan CI job runs this engine's tests), view
+// invariants I1-I3, one initiation per live node per cycle, and
+// interleaving-independent randomness: draws come from counter-based
+// streams (Rng::stream_at keyed by node id and per-node participation
+// count), so thread timing decides only which exchanges a node's draws
+// apply to, never the draw values themselves — node streams cannot
+// entangle. The paper's own model serializes exchanges; Relaxed
+// corresponds to the "concurrent cycle" reading where a node's cycle-t
+// partners may already have exchanged within cycle t.
+//
+// Master-Rng discipline: Deterministic mode consumes the master stream
+// exactly as the sequential engine does (one shuffle per cycle, nothing
+// at construction). Relaxed mode draws one extra master value when the
+// engine is constructed (the stream-derivation seed) and the per-cycle
+// shuffle thereafter — so constructing a Relaxed engine shifts the master
+// stream by one draw relative to a sequential or Deterministic run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/membership/flat_ops.hpp"
+#include "pss/sim/conflict_scheduler.hpp"
+#include "pss/sim/cycle_step.hpp"
+#include "pss/sim/network.hpp"
+#include "pss/sim/relaxed_lock.hpp"
+#include "pss/sim/thread_pool.hpp"
+
+namespace pss::sim {
+
+/// Execution semantics of the parallel engine; see the header comment.
+enum class ParallelPolicy : std::uint8_t {
+  kDeterministic,  ///< bit-identical to the sequential CycleEngine
+  kRelaxed,        ///< race-free but schedule-dependent; scan-free scaling
+};
+
+class ParallelCycleEngine {
+ public:
+  struct Config {
+    /// Total lanes including the driving thread; 0 = hardware concurrency.
+    unsigned threads = 0;
+    ParallelPolicy policy = ParallelPolicy::kDeterministic;
+  };
+
+  /// `network` must outlive the engine. In Relaxed mode construction draws
+  /// one value from the master Rng (the stream-derivation seed);
+  /// Deterministic construction leaves the network untouched.
+  ParallelCycleEngine(Network& network, Config config);
+
+  /// Runs one cycle: permutes live nodes, fires each active thread once.
+  void run_cycle();
+
+  /// Runs `cycles` consecutive cycles.
+  void run(Cycle cycles);
+
+  /// Number of cycles executed so far.
+  Cycle cycle() const { return cycle_; }
+
+  /// Aggregate counters since construction.
+  const EngineStats& stats() const { return stats_; }
+
+  unsigned threads() const { return pool_.concurrency(); }
+  ParallelPolicy policy() const { return config_.policy; }
+
+ private:
+  void build_order();
+  void run_cycle_deterministic();
+  void run_cycle_relaxed();
+  void execute_batch();
+  void relaxed_initiate(NodeId initiator, flat::Scratch& scratch,
+                        EngineStats& stats);
+
+  Network* network_;
+  Config config_;
+  ThreadPool pool_;
+  ConflictScheduler scheduler_;
+  Cycle cycle_ = 0;
+  EngineStats stats_;
+  std::vector<NodeId> order_;      ///< per-cycle permutation, capacity reused
+  std::vector<CycleStep> batch_;   ///< current conflict-free batch
+  std::vector<flat::Scratch> lane_scratch_;  ///< one per lane
+  std::vector<EngineStats> lane_stats_;      ///< summed into stats_ per cycle
+
+  // Relaxed-mode state (empty under kDeterministic).
+  std::uint64_t relaxed_seed_ = 0;
+  std::vector<RelaxedNodeLock> locks_;          ///< one spinlock per node
+  std::vector<std::uint32_t> participations_;   ///< per-node draw counters
+};
+
+}  // namespace pss::sim

@@ -1,0 +1,49 @@
+// Per-node spinlock for the parallel engine's Relaxed mode.
+//
+// One byte-wide test-and-set lock guards each node's arena slots (view,
+// Rng/counter, stats). Critical sections are one exchange body — a few
+// hundred nanoseconds — and contention is rare (two of N nodes collide per
+// step), so a spinning TAS beats a futex-backed std::mutex per node by an
+// order of magnitude in memory (1 B vs 40 B) and avoids any syscall on the
+// hot path. The exchange/store pair uses acquire/release ordering, which
+// is exactly the mutual-exclusion contract ThreadSanitizer understands —
+// the TSan CI job runs the Relaxed tests against this lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace pss::sim {
+
+class RelaxedNodeLock {
+ public:
+  RelaxedNodeLock() = default;
+
+  /// Vector-resize support only: a "copied" lock starts unlocked. The
+  /// engine resizes the lock array strictly between cycles, when no lock
+  /// is held, so no state is ever lost.
+  RelaxedNodeLock(const RelaxedNodeLock&) noexcept {}
+  RelaxedNodeLock& operator=(const RelaxedNodeLock&) noexcept { return *this; }
+
+  void lock() {
+    unsigned spins = 0;
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      // Bounded busy-wait, then yield: the holder is mid-exchange, so the
+      // lock frees in sub-µs unless the holder lost its time slice.
+      if (++spins >= kSpinsBeforeYield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void unlock() { flag_.store(0, std::memory_order_release); }
+
+ private:
+  static constexpr unsigned kSpinsBeforeYield = 1024;
+
+  std::atomic<std::uint8_t> flag_{0};
+};
+
+}  // namespace pss::sim

@@ -1,0 +1,203 @@
+#include "pss/sim/parallel_cycle_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "pss/protocol/flat_exchange.hpp"
+
+namespace pss::sim {
+
+namespace {
+
+// Steps a lane grabs per fetch_add: large enough that the shared counter is
+// cold, small enough that uneven step costs still balance across lanes.
+constexpr std::size_t kChunk = 16;
+
+// Batches at or below this size run on the scanning thread: a pool wakeup
+// costs a few µs, which only pays for itself once a batch carries more
+// work than that.
+constexpr std::size_t kInlineBatch = 16;
+
+// Same scan lookahead as the sequential engine (see cycle_engine.cpp).
+constexpr std::size_t kPrefetchAhead = 8;
+
+// Shared work distribution of both policies: lanes grab kChunk-sized index
+// ranges off one counter and run `body(index, scratch, stats)` for each;
+// per-lane stats merge once per dispatch instead of per step (the shared
+// lane_stats array would otherwise false-share across lanes).
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         std::vector<flat::Scratch>& lane_scratch,
+                         std::vector<EngineStats>& lane_stats, Body&& body) {
+  std::atomic<std::size_t> next{0};
+  pool.run([&](unsigned lane) {
+    flat::Scratch& scratch = lane_scratch[lane];
+    EngineStats local;
+    for (;;) {
+      const std::size_t begin =
+          next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + kChunk, count);
+      for (std::size_t i = begin; i < end; ++i) body(i, scratch, local);
+    }
+    lane_stats[lane].exchanges += local.exchanges;
+    lane_stats[lane].failed_contacts += local.failed_contacts;
+    lane_stats[lane].empty_views += local.empty_views;
+  });
+}
+
+}  // namespace
+
+ParallelCycleEngine::ParallelCycleEngine(Network& network, Config config)
+    : network_(&network), config_(config), pool_(config.threads) {
+  lane_scratch_.resize(pool_.concurrency());
+  lane_stats_.resize(pool_.concurrency());
+  if (config_.policy == ParallelPolicy::kRelaxed) {
+    // Base of every counter-derived stream this engine will ever hand out.
+    // Drawn once so Relaxed runs are a pure function of (network seed,
+    // construction order), like everything else in the simulator.
+    relaxed_seed_ = network.rng()();
+  }
+}
+
+void ParallelCycleEngine::build_order() {
+  // Identical permutation construction (and master-Rng consumption) to the
+  // sequential engine: ascending live ids, one Fisher–Yates shuffle.
+  order_.clear();
+  const std::size_t n = network_->size();
+  for (NodeId id = 0; id < n; ++id) {
+    if (network_->is_live(id)) order_.push_back(id);
+  }
+  network_->rng().shuffle(order_);
+}
+
+void ParallelCycleEngine::run_cycle() {
+  for (EngineStats& s : lane_stats_) s = EngineStats{};
+  if (config_.policy == ParallelPolicy::kDeterministic) {
+    run_cycle_deterministic();
+  } else {
+    run_cycle_relaxed();
+  }
+  for (const EngineStats& s : lane_stats_) {
+    stats_.exchanges += s.exchanges;
+    stats_.failed_contacts += s.failed_contacts;
+    stats_.empty_views += s.empty_views;
+  }
+  ++cycle_;
+}
+
+void ParallelCycleEngine::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) run_cycle();
+}
+
+void ParallelCycleEngine::run_cycle_deterministic() {
+  build_order();
+  scheduler_.begin_cycle(order_, network_->size());
+  const flat::NodeArena& arena = network_->arena();
+  for (std::size_t i = 0; i < std::min(kPrefetchAhead, order_.size()); ++i) {
+    arena.prefetch_node(order_[i]);
+  }
+  // The scan calls select exactly once per initiator, in permutation order
+  // (carried steps included), so a running count doubles as the scan
+  // position for lookahead prefetch.
+  std::size_t scanned = 0;
+  auto select = [&](NodeId initiator) {
+    if (scanned + kPrefetchAhead < order_.size()) {
+      arena.prefetch_node(order_[scanned + kPrefetchAhead]);
+    }
+    ++scanned;
+    return select_cycle_step(*network_, initiator);
+  };
+  // Single-node steps execute on the scanning thread, lane 0.
+  auto inline_exec = [&](const CycleStep& step) {
+    execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0]);
+  };
+  while (scheduler_.next_batch(select, inline_exec, batch_)) {
+    execute_batch();
+  }
+}
+
+void ParallelCycleEngine::execute_batch() {
+  if (batch_.empty()) return;
+  if (pool_.concurrency() == 1 || batch_.size() <= kInlineBatch) {
+    for (const CycleStep& step : batch_) {
+      execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0]);
+    }
+    return;
+  }
+  const flat::NodeArena& arena = network_->arena();
+  parallel_for_chunks(
+      pool_, batch_.size(), lane_scratch_, lane_stats_,
+      [&](std::size_t i, flat::Scratch& scratch, EngineStats& stats) {
+        // Warm the next step's initiator while this one runs (its peer is
+        // prefetched inside the step body, as in the sequential engine).
+        if (i + 1 < batch_.size()) {
+          arena.prefetch_node(batch_[i + 1].initiator);
+        }
+        execute_cycle_step(*network_, batch_[i], scratch, stats);
+      });
+}
+
+void ParallelCycleEngine::run_cycle_relaxed() {
+  build_order();
+  const std::size_t n = network_->size();
+  // Grown strictly between cycles, while no lock is held / counter in use.
+  if (locks_.size() < n) locks_.resize(n);
+  if (participations_.size() < n) participations_.resize(n, 0);
+  parallel_for_chunks(
+      pool_, order_.size(), lane_scratch_, lane_stats_,
+      [&](std::size_t i, flat::Scratch& scratch, EngineStats& stats) {
+        relaxed_initiate(order_[i], scratch, stats);
+      });
+}
+
+void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
+                                           flat::Scratch& scratch,
+                                           EngineStats& stats) {
+  flat::NodeArena& arena = network_->arena();
+  // Phase 1 under the initiator's lock alone: draw the peer from a
+  // counter-derived stream (the arena's sequential per-node streams stay
+  // untouched in Relaxed mode). The same derived generator later serves
+  // the initiator's reply-absorb draws — one stream per participation.
+  locks_[initiator].lock();
+  Rng rng = Rng::stream_at(relaxed_seed_, initiator,
+                           participations_[initiator]++);
+  const auto peer = flat::select_peer(arena.views.view_of(initiator),
+                                      network_->spec().peer_selection, rng);
+  if (!peer) {
+    arena.views.age(initiator);
+    locks_[initiator].unlock();
+    ++stats.empty_views;
+    return;
+  }
+  if (!network_->is_live(*peer) ||
+      !network_->can_communicate(initiator, *peer)) {
+    arena.views.age(initiator);
+    ++arena.stats[initiator].initiated;
+    flat::contact_failure(arena, initiator, *peer, network_->options());
+    locks_[initiator].unlock();
+    ++stats.failed_contacts;
+    return;
+  }
+  locks_[initiator].unlock();
+  // Phase 2 under both locks, acquired in address order so two exchanges
+  // meeting on crossed pairs cannot deadlock. Dropping the initiator's
+  // lock in between means its view can change before the buffer is built —
+  // the drawn peer stands regardless; that is the Relaxed semantics.
+  PSS_DCHECK(*peer != initiator);
+  const NodeId lo = std::min(initiator, *peer);
+  const NodeId hi = std::max(initiator, *peer);
+  locks_[lo].lock();
+  locks_[hi].lock();
+  arena.views.age(initiator);
+  ++arena.stats[initiator].initiated;
+  Rng peer_rng =
+      Rng::stream_at(relaxed_seed_, *peer, participations_[*peer]++);
+  flat::run_exchange_with(arena, initiator, *peer, network_->spec(),
+                          network_->options(), scratch, rng, peer_rng);
+  locks_[hi].unlock();
+  locks_[lo].unlock();
+  ++stats.exchanges;
+}
+
+}  // namespace pss::sim

@@ -1,0 +1,93 @@
+#include "pss/sim/thread_pool.hpp"
+
+#include <utility>
+
+namespace pss::sim {
+
+ThreadPool::ThreadPool(unsigned concurrency) {
+  if (concurrency == 0) {
+    concurrency = std::thread::hardware_concurrency();
+    if (concurrency == 0) concurrency = 1;
+  }
+  workers_.reserve(concurrency - 1);
+  for (unsigned lane = 1; lane < concurrency; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_impl(void* ctx, TaskThunk thunk) {
+  if (workers_.empty()) {
+    // Single-lane pool: a plain call, no synchronization at all.
+    thunk(ctx, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ctx_ = ctx;
+    task_thunk_ = thunk;
+    first_error_ = nullptr;
+    done_ = 0;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  try {
+    thunk(ctx, 0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Unwinding before this barrier would destroy caller-scoped state the
+  // task captured while workers still execute it — so even on error the
+  // wait always completes first.
+  done_cv_.wait(lock, [this] {
+    return done_ == static_cast<unsigned>(workers_.size());
+  });
+  task_ctx_ = nullptr;
+  task_thunk_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = nullptr;
+    std::swap(error, first_error_);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    void* ctx = nullptr;
+    TaskThunk thunk = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ctx = task_ctx_;
+      thunk = task_thunk_;
+    }
+    try {
+      thunk(ctx, lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace pss::sim

@@ -2,8 +2,12 @@
 // membership turnover.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "pss/graph/metrics.hpp"
 #include "pss/graph/undirected_graph.hpp"
+#include "pss/membership/view.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/churn.hpp"
 #include "pss/sim/cycle_engine.hpp"
@@ -67,6 +71,80 @@ TEST(ChurnModel, OverlayStaysConnectedUnderMildChurn) {
   EXPECT_EQ(net.live_count(), 300u);
   const auto g = graph::UndirectedGraph::from_network(net);
   EXPECT_TRUE(graph::connected_components(g).connected());
+}
+
+TEST(ChurnModel, FlatJoinPathMatchesHistoricalInitViewPath) {
+  // The flat join (descriptors written straight into the newcomer's arena
+  // slot) must be indistinguishable — views, liveness, Rng consumption —
+  // from the historical path that went through GossipNode::init_view and a
+  // heap View. The reference below reimplements that path verbatim.
+  constexpr std::uint64_t kChurnSeed = 77;
+  const ChurnConfig config{.leaves_per_cycle = 4, .joins_per_cycle = 6,
+                           .contacts_per_join = 9};
+  const ProtocolOptions options{5, false};  // contacts > c: truncation path
+  auto flat_net = bootstrap::make_random(ProtocolSpec::newscast(), options,
+                                         60, 12);
+  auto ref_net = bootstrap::make_random(ProtocolSpec::newscast(), options,
+                                        60, 12);
+  ChurnModel churn(config, Rng(kChurnSeed));
+  Rng ref_rng(kChurnSeed);
+  for (int round = 0; round < 8; ++round) {
+    churn.apply(flat_net);
+    // Reference: the pre-flat ChurnModel::apply body.
+    {
+      const std::size_t floor = config.contacts_per_join + 1;
+      std::size_t kills = config.leaves_per_cycle;
+      if (ref_net.live_count() > floor) {
+        kills = std::min(kills, ref_net.live_count() - floor);
+      } else {
+        kills = 0;
+      }
+      if (kills > 0) ref_net.kill_random(kills, ref_rng);
+      for (std::size_t j = 0; j < config.joins_per_cycle; ++j) {
+        const auto live = ref_net.live_ids();
+        const std::size_t contacts =
+            std::min(config.contacts_per_join, live.size());
+        auto picks = ref_rng.sample_indices(live.size(), contacts);
+        std::vector<NodeDescriptor> entries;
+        entries.reserve(contacts);
+        for (std::size_t p : picks) entries.push_back({live[p], 0});
+        const NodeId newcomer = ref_net.add_node();
+        ref_net.node(newcomer).init_view(View(std::move(entries)));
+      }
+    }
+    ASSERT_EQ(flat_net.size(), ref_net.size());
+    ASSERT_EQ(flat_net.live_count(), ref_net.live_count());
+    for (NodeId id = 0; id < flat_net.size(); ++id) {
+      ASSERT_EQ(flat_net.is_live(id), ref_net.is_live(id)) << "node " << id;
+      const auto a = flat_net.view_span(id);
+      const auto b = ref_net.view_span(id);
+      ASSERT_EQ(std::vector<NodeDescriptor>(a.begin(), a.end()),
+                std::vector<NodeDescriptor>(b.begin(), b.end()))
+          << "node " << id;
+    }
+    // Divergent Rng consumption would desynchronize every later round, so
+    // 8 identical rounds also pin the draw sequence, not just the views.
+  }
+}
+
+TEST(ChurnModel, FlatJoinTruncatesToViewSize) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{4, false}, 30, 21);
+  ChurnModel churn({.leaves_per_cycle = 0, .joins_per_cycle = 1,
+                    .contacts_per_join = 10},
+                   Rng(22));
+  churn.apply(net);
+  const auto view = net.view_span(30);
+  ASSERT_EQ(view.size(), 4u);
+  // Normalized (I1/I2) straight out of the join: hop-0 entries in
+  // ascending address order, no duplicates, no self.
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i].hop_count, 0u);
+    EXPECT_NE(view[i].address, 30u);
+    if (i + 1 < view.size()) {
+      EXPECT_LT(view[i].address, view[i + 1].address);
+    }
+  }
 }
 
 TEST(ChurnModel, DeadLinksStayBoundedWithHeadSelection) {

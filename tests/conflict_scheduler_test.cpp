@@ -1,0 +1,260 @@
+// Unit tests for the greedy conflict-free batch partitioner, driven with
+// synthetic selection oracles (no network): every batch must be
+// conflict-free, the batches plus inline steps must partition the
+// permutation exactly, conflicting steps must retire in permutation order,
+// selection must run exactly once per initiator, and adversarial inputs
+// (every step contending on one hub node) must degrade to batch-size-1
+// serialization without deadlock or starvation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "pss/sim/conflict_scheduler.hpp"
+
+namespace pss::sim {
+namespace {
+
+struct DrainResult {
+  std::vector<std::vector<CycleStep>> batches;
+  // (batch index the step retired *before*, step) for inline executions:
+  // inline steps run during the scan of batch `batch_index`, i.e. after
+  // batch `batch_index - 1` finished and before `batch_index` starts.
+  std::vector<std::pair<std::size_t, CycleStep>> inline_steps;
+  std::size_t select_calls = 0;
+};
+
+/// Drains a whole cycle through the scheduler with `select` as the oracle,
+/// recording batches, inline executions and selection-call accounting.
+template <typename SelectFn>
+DrainResult drain(ConflictScheduler& sched, std::span<const NodeId> order,
+                  std::size_t node_count, SelectFn&& select,
+                  std::size_t max_batches = 100000) {
+  DrainResult r;
+  sched.begin_cycle(order, node_count);
+  std::vector<CycleStep> batch;
+  std::set<NodeId> selected;  // each initiator selected at most once
+  auto counted_select = [&](NodeId u) {
+    ++r.select_calls;
+    EXPECT_TRUE(selected.insert(u).second)
+        << "initiator " << u << " selected twice";
+    return select(u);
+  };
+  auto inline_exec = [&](const CycleStep& s) {
+    r.inline_steps.emplace_back(r.batches.size(), s);
+  };
+  while (sched.next_batch(counted_select, inline_exec, batch)) {
+    r.batches.push_back(batch);
+    if (r.batches.size() > max_batches) {
+      ADD_FAILURE() << "scheduler failed to terminate";
+      break;
+    }
+  }
+  EXPECT_TRUE(sched.done());
+  return r;
+}
+
+std::vector<NodeId> ascending(std::size_t n) {
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+  return order;
+}
+
+/// Asserts the two partition properties: (a) within a batch no node occurs
+/// twice; (b) batches + inline steps cover each initiator exactly once.
+void check_partition(const DrainResult& r, std::span<const NodeId> order) {
+  std::multiset<NodeId> initiators;
+  for (const auto& batch : r.batches) {
+    std::set<NodeId> touched;
+    for (const CycleStep& s : batch) {
+      EXPECT_EQ(s.kind, StepKind::kExchange);
+      EXPECT_TRUE(touched.insert(s.initiator).second)
+          << "node " << s.initiator << " touched twice in one batch";
+      EXPECT_TRUE(touched.insert(s.peer).second)
+          << "node " << s.peer << " touched twice in one batch";
+      initiators.insert(s.initiator);
+    }
+  }
+  for (const auto& [batch_index, s] : r.inline_steps) {
+    initiators.insert(s.initiator);
+  }
+  const std::multiset<NodeId> expected(order.begin(), order.end());
+  EXPECT_EQ(initiators, expected);
+}
+
+TEST(ConflictScheduler, PartitionsAFixedPeerMapCompletely) {
+  constexpr std::size_t kN = 97;
+  const auto order = ascending(kN);
+  ConflictScheduler sched;
+  auto select = [](NodeId u) {
+    NodeId peer = (u * 17 + 3) % kN;
+    if (peer == u) peer = (peer + 1) % kN;
+    return CycleStep{u, peer, StepKind::kExchange};
+  };
+  const DrainResult r = drain(sched, order, kN, select);
+  EXPECT_EQ(r.select_calls, kN);
+  EXPECT_TRUE(r.inline_steps.empty());
+  check_partition(r, order);
+  // A random-ish peer map at N=97 must yield real parallelism: strictly
+  // fewer batches than steps.
+  EXPECT_LT(r.batches.size(), kN);
+  EXPECT_GT(r.batches.front().size(), 1u);
+}
+
+TEST(ConflictScheduler, ConflictingStepsRetireInPermutationOrder) {
+  // Execution timeline: inline steps recorded before batch k run at time
+  // 2k, batch-k steps at time 2k+1. For every pair of steps sharing a
+  // node, the earlier-in-permutation one must retire strictly earlier.
+  constexpr std::size_t kN = 64;
+  const auto order = ascending(kN);
+  ConflictScheduler sched;
+  auto select = [](NodeId u) {
+    // Dense conflicts: clusters of 8 all peer with their cluster base.
+    const NodeId base = (u / 8) * 8;
+    const NodeId peer = (u == base) ? base + 1 : base;
+    return CycleStep{u, peer, StepKind::kExchange};
+  };
+  const DrainResult r = drain(sched, order, kN, select);
+  check_partition(r, order);
+  std::map<NodeId, std::size_t> retire_time;  // initiator -> timeline slot
+  for (std::size_t b = 0; b < r.batches.size(); ++b) {
+    for (const CycleStep& s : r.batches[b]) {
+      retire_time[s.initiator] = 2 * b + 1;
+    }
+  }
+  for (const auto& [batch_index, s] : r.inline_steps) {
+    retire_time[s.initiator] = 2 * batch_index;
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = i + 1; j < kN; ++j) {
+      const CycleStep a = select(order[i]);
+      const CycleStep b = select(order[j]);
+      const bool conflict = a.initiator == b.initiator ||
+                            a.initiator == b.peer || a.peer == b.initiator ||
+                            a.peer == b.peer;
+      if (!conflict) continue;
+      ASSERT_LT(retire_time.at(a.initiator), retire_time.at(b.initiator))
+          << "steps of " << a.initiator << " and " << b.initiator
+          << " retired out of order";
+    }
+  }
+}
+
+TEST(ConflictScheduler, HubContentionDegradesToBatchSizeOne) {
+  // Adversarial input: every initiator's peer is node 0. No two steps
+  // commute, so the schedule must serialize — one step per batch — and
+  // still terminate with full coverage.
+  constexpr std::size_t kN = 50;
+  const auto order = ascending(kN);
+  ConflictScheduler sched;
+  auto select = [](NodeId u) {
+    return CycleStep{u, u == 0 ? NodeId{1} : NodeId{0}, StepKind::kExchange};
+  };
+  const DrainResult r = drain(sched, order, kN, select);
+  EXPECT_EQ(r.select_calls, kN);
+  check_partition(r, order);
+  ASSERT_EQ(r.batches.size(), kN);
+  for (const auto& batch : r.batches) EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(ConflictScheduler, SingleNodeStepsExecuteInlineAndNeverBatch) {
+  constexpr std::size_t kN = 30;
+  const auto order = ascending(kN);
+  ConflictScheduler sched;
+  auto select = [](NodeId u) {
+    if (u % 3 == 0) return CycleStep{u, 0, StepKind::kEmptyView};
+    if (u % 3 == 1) {
+      const NodeId peer = (u + 1) % kN;
+      return CycleStep{u, peer, StepKind::kFailedContact};
+    }
+    NodeId peer = (u + 5) % kN;
+    if (peer == u) peer = (peer + 1) % kN;
+    return CycleStep{u, peer, StepKind::kExchange};
+  };
+  const DrainResult r = drain(sched, order, kN, select);
+  check_partition(r, order);
+  std::size_t empties = 0;
+  std::size_t fails = 0;
+  for (const auto& [batch_index, s] : r.inline_steps) {
+    if (s.kind == StepKind::kEmptyView) ++empties;
+    if (s.kind == StepKind::kFailedContact) ++fails;
+  }
+  EXPECT_EQ(empties, 10u);
+  EXPECT_EQ(fails, 10u);
+  for (const auto& batch : r.batches) {
+    for (const CycleStep& s : batch) {
+      EXPECT_EQ(s.kind, StepKind::kExchange);
+    }
+  }
+}
+
+TEST(ConflictScheduler, ClaimedInitiatorIsCarriedUnevaluated) {
+  // Order [0, 2, 1]: step 0 claims {0, 2}; initiator 2 is then claimed, so
+  // the batch must close *without* selecting 2, and 2's selection must
+  // happen in the next next_batch call.
+  const std::vector<NodeId> order{0, 2, 1};
+  ConflictScheduler sched;
+  std::vector<std::pair<NodeId, std::size_t>> select_log;  // (node, call#)
+  std::size_t batch_no = 0;
+  std::vector<CycleStep> batch;
+  auto select = [&](NodeId u) {
+    select_log.emplace_back(u, batch_no);
+    return CycleStep{u, u == 0 ? NodeId{2} : NodeId{0}, StepKind::kExchange};
+  };
+  auto inline_exec = [](const CycleStep&) { FAIL() << "no inline steps"; };
+  sched.begin_cycle(order, 3);
+  ASSERT_TRUE(sched.next_batch(select, inline_exec, batch));
+  ASSERT_EQ(batch.size(), 1u);  // only step 0
+  EXPECT_EQ(batch[0].initiator, 0u);
+  ++batch_no;
+  ASSERT_TRUE(sched.next_batch(select, inline_exec, batch));
+  ASSERT_EQ(batch.size(), 1u);  // step 2, selected only now
+  EXPECT_EQ(batch[0].initiator, 2u);
+  ++batch_no;
+  // Step 1's selection ran during batch 1's scan (legal: nothing admitted
+  // there touches node 1), but its peer 0 was claimed, so the evaluated
+  // step seeds batch 2 without a second selection.
+  ASSERT_TRUE(sched.next_batch(select, inline_exec, batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].initiator, 1u);
+  EXPECT_FALSE(sched.next_batch(select, inline_exec, batch));
+  ASSERT_EQ(select_log.size(), 3u);
+  EXPECT_EQ(select_log[0], (std::pair<NodeId, std::size_t>{0, 0}));
+  EXPECT_EQ(select_log[1], (std::pair<NodeId, std::size_t>{2, 1}));
+  EXPECT_EQ(select_log[2], (std::pair<NodeId, std::size_t>{1, 1}));
+}
+
+TEST(ConflictScheduler, EmptyOrderIsImmediatelyDone) {
+  ConflictScheduler sched;
+  std::vector<NodeId> order;
+  sched.begin_cycle(order, 0);
+  EXPECT_TRUE(sched.done());
+  std::vector<CycleStep> batch;
+  auto select = [](NodeId) { return CycleStep{}; };
+  auto inline_exec = [](const CycleStep&) {};
+  EXPECT_FALSE(sched.next_batch(select, inline_exec, batch));
+}
+
+TEST(ConflictScheduler, ReusableAcrossCyclesWithGenerationStamps) {
+  // Many cycles through one scheduler instance: stale claims from earlier
+  // cycles must never leak into later ones (generation stamping).
+  constexpr std::size_t kN = 40;
+  const auto order = ascending(kN);
+  ConflictScheduler sched;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    auto select = [&](NodeId u) {
+      NodeId peer = (u + 1 + static_cast<NodeId>(cycle) % (kN - 1)) % kN;
+      if (peer == u) peer = (peer + 1) % kN;
+      return CycleStep{u, peer, StepKind::kExchange};
+    };
+    const DrainResult r = drain(sched, order, kN, select);
+    EXPECT_EQ(r.select_calls, kN);
+    check_partition(r, order);
+  }
+}
+
+}  // namespace
+}  // namespace pss::sim

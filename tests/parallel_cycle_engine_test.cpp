@@ -1,0 +1,310 @@
+// Equivalence and safety tests for the sharded parallel cycle engine.
+//
+// The Deterministic policy's contract is bit-identity with the sequential
+// CycleEngine — same per-node views, same NodeStats, same EngineStats, same
+// master/per-node Rng consumption — at ANY thread count. The replays below
+// pin it across all 8 evaluated protocol instances, under kills, revives,
+// partitions, empty views and a hub topology that degrades the scheduler
+// to batch size 1. The Relaxed policy trades that guarantee for scan-free
+// scaling; its tests pin what remains guaranteed: data-race freedom (this
+// binary is the TSan CI job's main payload), view invariants, and exact
+// per-cycle initiation accounting. ThreadPool units ride along so the TSan
+// job covers the pool's handshake directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+#include "pss/sim/parallel_cycle_engine.hpp"
+#include "pss/sim/thread_pool.hpp"
+
+namespace pss::sim {
+namespace {
+
+std::vector<NodeDescriptor> to_vec(std::span<const NodeDescriptor> s) {
+  return {s.begin(), s.end()};
+}
+
+void expect_networks_identical(Network& a, Network& b, const char* where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (NodeId id = 0; id < a.size(); ++id) {
+    ASSERT_EQ(to_vec(a.view_span(id)), to_vec(b.view_span(id)))
+        << where << ", node " << id;
+    ASSERT_EQ(a.node(id).stats().initiated, b.node(id).stats().initiated)
+        << where << ", node " << id;
+    ASSERT_EQ(a.node(id).stats().received, b.node(id).stats().received)
+        << where << ", node " << id;
+    ASSERT_EQ(a.node(id).stats().replies_sent, b.node(id).stats().replies_sent)
+        << where << ", node " << id;
+    ASSERT_EQ(a.node(id).stats().contact_failures,
+              b.node(id).stats().contact_failures)
+        << where << ", node " << id;
+  }
+  // Same master-Rng consumption: the streams must be in lockstep, not just
+  // the state they produced.
+  ASSERT_EQ(a.rng()(), b.rng()()) << where << ", master rng";
+}
+
+void expect_stats_equal(const EngineStats& a, const EngineStats& b,
+                        const char* where) {
+  EXPECT_EQ(a.exchanges, b.exchanges) << where;
+  EXPECT_EQ(a.failed_contacts, b.failed_contacts) << where;
+  EXPECT_EQ(a.empty_views, b.empty_views) << where;
+}
+
+// Drives the same eventful scenario — kills, a temporary partition, a
+// revive, late empty-view joiners — through the sequential engine and a
+// parallel engine, comparing full network state after every cycle.
+void check_parallel_matches_sequential(ProtocolSpec spec, unsigned threads,
+                                       ParallelPolicy policy) {
+  constexpr std::size_t kNodes = 120;
+  constexpr std::uint64_t kSeed = 20260728;
+  const ProtocolOptions options{8, /*remove_dead_on_failure=*/true};
+  Network seq_net = bootstrap::make_random(spec, options, kNodes, kSeed);
+  Network par_net = bootstrap::make_random(spec, options, kNodes, kSeed);
+  CycleEngine seq(seq_net);
+  ParallelCycleEngine par(par_net, {threads, policy});
+  if (threads != 0) {
+    ASSERT_EQ(par.threads(), threads);
+  }
+  for (Cycle cycle = 0; cycle < 10; ++cycle) {
+    if (cycle == 2) {
+      // Dead contacts + remove_dead_on_failure eviction.
+      for (NodeId id = 0; id < kNodes / 5; ++id) {
+        seq_net.kill(id);
+        par_net.kill(id);
+      }
+    }
+    if (cycle == 4) {
+      // Cross-partition contacts fail without touching the peer.
+      for (NodeId id = 0; id < kNodes; id += 3) {
+        seq_net.set_partition_group(id, 1);
+        par_net.set_partition_group(id, 1);
+      }
+    }
+    if (cycle == 6) {
+      seq_net.clear_partitions();
+      par_net.clear_partitions();
+      seq_net.revive(0);
+      par_net.revive(0);
+      // Late joiners with empty views exercise the inline empty-view path.
+      seq_net.add_nodes(5);
+      par_net.add_nodes(5);
+    }
+    seq.run_cycle();
+    par.run_cycle();
+    expect_networks_identical(seq_net, par_net, spec.name().c_str());
+    expect_stats_equal(seq.stats(), par.stats(), spec.name().c_str());
+  }
+  EXPECT_EQ(par.cycle(), 10u);
+}
+
+TEST(ParallelCycleEngine, DeterministicMatchesSequentialNewscast4Threads) {
+  check_parallel_matches_sequential(ProtocolSpec::newscast(), 4,
+                                    ParallelPolicy::kDeterministic);
+}
+
+TEST(ParallelCycleEngine, DeterministicMatchesSequentialAllEvaluated) {
+  // The acceptance matrix: every evaluated protocol, T threads vs the
+  // sequential engine. Odd thread counts catch partition-arithmetic bugs.
+  for (const ProtocolSpec& spec : ProtocolSpec::evaluated()) {
+    check_parallel_matches_sequential(spec, 4,
+                                      ParallelPolicy::kDeterministic);
+  }
+}
+
+TEST(ParallelCycleEngine, DeterministicMatchesSequentialOddThreads) {
+  check_parallel_matches_sequential(ProtocolSpec::newscast(), 3,
+                                    ParallelPolicy::kDeterministic);
+  check_parallel_matches_sequential(ProtocolSpec::lpbcast(), 7,
+                                    ParallelPolicy::kDeterministic);
+}
+
+TEST(ParallelCycleEngine, SingleThreadIsTheSequentialEngine) {
+  check_parallel_matches_sequential(ProtocolSpec::newscast(), 1,
+                                    ParallelPolicy::kDeterministic);
+}
+
+TEST(ParallelCycleEngine, ThreadCountsAgreeWithEachOther) {
+  // Transitivity spot-check at a size big enough for multi-chunk batches.
+  const ProtocolSpec spec = ProtocolSpec::newscast();
+  const ProtocolOptions options{10, false};
+  Network net2 = bootstrap::make_random(spec, options, 600, 7);
+  Network net8 = bootstrap::make_random(spec, options, 600, 7);
+  ParallelCycleEngine eng2(net2, {2, ParallelPolicy::kDeterministic});
+  ParallelCycleEngine eng8(net8, {8, ParallelPolicy::kDeterministic});
+  eng2.run(6);
+  eng8.run(6);
+  expect_networks_identical(net2, net8, "2 vs 8 threads");
+  expect_stats_equal(eng2.stats(), eng8.stats(), "2 vs 8 threads");
+}
+
+TEST(ParallelCycleEngine, HubTopologyDegradesToSequentialWithoutDeadlock) {
+  // Star bootstrap: every leaf's view holds only the hub, so (almost) every
+  // step contends on it and the scheduler must serialize batch by batch.
+  const ProtocolSpec spec = ProtocolSpec::newscast();
+  const ProtocolOptions options{6, false};
+  for (unsigned threads : {1u, 4u}) {
+    Network seq_net(spec, options, 11);
+    seq_net.add_nodes(40);
+    bootstrap::init_star(seq_net);
+    Network par_net(spec, options, 11);
+    par_net.add_nodes(40);
+    bootstrap::init_star(par_net);
+    CycleEngine seq(seq_net);
+    ParallelCycleEngine par(par_net, {threads, ParallelPolicy::kDeterministic});
+    seq.run(5);
+    par.run(5);
+    expect_networks_identical(seq_net, par_net, "hub");
+    expect_stats_equal(seq.stats(), par.stats(), "hub");
+  }
+}
+
+TEST(ParallelCycleEngine, ReportsConfiguredThreadsAndPolicy) {
+  Network net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                       ProtocolOptions{5, false}, 20, 3);
+  ParallelCycleEngine engine(net, {2, ParallelPolicy::kDeterministic});
+  EXPECT_EQ(engine.threads(), 2u);
+  EXPECT_EQ(engine.policy(), ParallelPolicy::kDeterministic);
+  EXPECT_EQ(engine.cycle(), 0u);
+  engine.run(0);
+  EXPECT_EQ(engine.cycle(), 0u);
+  EXPECT_EQ(engine.stats().exchanges, 0u);
+}
+
+// --- Relaxed mode ---------------------------------------------------------
+
+bool is_normalized_no_self(std::span<const NodeDescriptor> v, NodeId self) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i].address == self) return false;
+    if (i + 1 < v.size() && !ByHopThenAddress{}(v[i], v[i + 1])) return false;
+  }
+  return true;
+}
+
+TEST(RelaxedMode, InvariantsAndAccountingHoldUnderThreads) {
+  constexpr std::size_t kNodes = 300;
+  constexpr Cycle kCycles = 6;
+  const ProtocolOptions options{8, false};
+  for (const ProtocolSpec& spec :
+       {ProtocolSpec::newscast(), ProtocolSpec::lpbcast()}) {
+    Network net = bootstrap::make_random(spec, options, kNodes, 99);
+    ParallelCycleEngine engine(net, {4, ParallelPolicy::kRelaxed});
+    engine.run(kCycles);
+    // Every live node initiates exactly once per cycle, regardless of how
+    // the lanes interleaved.
+    std::uint64_t initiated = 0;
+    for (NodeId id = 0; id < kNodes; ++id) {
+      initiated += net.node(id).stats().initiated;
+      ASSERT_TRUE(is_normalized_no_self(net.view_span(id), id)) << id;
+      ASSERT_LE(net.view_span(id).size(), options.view_size) << id;
+    }
+    EXPECT_EQ(initiated, static_cast<std::uint64_t>(kNodes) * kCycles);
+    const EngineStats& s = engine.stats();
+    EXPECT_EQ(s.exchanges + s.failed_contacts,
+              static_cast<std::uint64_t>(kNodes) * kCycles);
+    EXPECT_EQ(s.empty_views, 0u);
+    EXPECT_GT(s.exchanges, 0u);
+  }
+}
+
+TEST(RelaxedMode, SurvivesDeadContactsAndChurnedLiveness) {
+  Network net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                       ProtocolOptions{6, true}, 200, 5);
+  ParallelCycleEngine engine(net, {4, ParallelPolicy::kRelaxed});
+  for (Cycle c = 0; c < 6; ++c) {
+    if (c == 2) {
+      for (NodeId id = 0; id < 50; ++id) net.kill(id);
+    }
+    if (c == 4) net.add_nodes(20);  // empty views join mid-run
+    engine.run_cycle();
+  }
+  const EngineStats& s = engine.stats();
+  EXPECT_GT(s.exchanges, 0u);
+  EXPECT_GT(s.failed_contacts, 0u);  // dead links got contacted
+  for (NodeId id = 0; id < net.size(); ++id) {
+    ASSERT_TRUE(is_normalized_no_self(net.view_span(id), id)) << id;
+  }
+}
+
+TEST(RelaxedMode, HubContentionSerializesWithoutDeadlock) {
+  // Every exchange locks the hub: maximal lock contention on one node.
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{6, false}, 13);
+  net.add_nodes(64);
+  bootstrap::init_star(net);
+  ParallelCycleEngine engine(net, {8, ParallelPolicy::kRelaxed});
+  engine.run(4);
+  EXPECT_GT(engine.stats().exchanges, 0u);
+}
+
+// --- ThreadPool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryLaneExactlyOncePerDispatch) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.concurrency(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  for (int round = 0; round < 50; ++round) {
+    pool.run([&](unsigned lane) { ++hits[lane]; });
+  }
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(hits[lane].load(), 50) << "lane " << lane;
+  }
+}
+
+TEST(ThreadPool, RunIsAFullBarrier) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> lane_sums(4, 0);
+  std::uint64_t expected = 0;
+  for (int round = 0; round < 20; ++round) {
+    pool.run([&](unsigned lane) { lane_sums[lane] += lane + 1; });
+    // Plain (unsynchronized) reads: valid only because run() returns after
+    // a full barrier. TSan proves the claim.
+    std::uint64_t total = 0;
+    for (std::uint64_t s : lane_sums) total += s;
+    expected += 1 + 2 + 3 + 4;
+    ASSERT_EQ(total, expected);
+  }
+}
+
+TEST(ThreadPool, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  unsigned ran = 0;
+  pool.run([&](unsigned lane) {
+    EXPECT_EQ(lane, 0u);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1u);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptionsAfterTheBarrier) {
+  // The check macros throw std::logic_error by design; a throw on any
+  // lane must surface from run() on the caller — after the barrier, so no
+  // captured state dies under a running worker — and leave the pool
+  // usable.
+  ThreadPool pool(4);
+  for (unsigned bad_lane = 0; bad_lane < 4; ++bad_lane) {
+    EXPECT_THROW(pool.run([&](unsigned lane) {
+                   if (lane == bad_lane) throw std::logic_error("boom");
+                 }),
+                 std::logic_error);
+    std::atomic<unsigned> ran{0};
+    pool.run([&](unsigned) { ++ran; });
+    EXPECT_EQ(ran.load(), 4u);
+  }
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.concurrency(), 1u);
+  std::atomic<unsigned> ran{0};
+  pool.run([&](unsigned) { ++ran; });
+  EXPECT_EQ(ran.load(), pool.concurrency());
+}
+
+}  // namespace
+}  // namespace pss::sim
