@@ -3,6 +3,8 @@
 #include "pss/common/check.hpp"
 #include "pss/graph/metrics.hpp"
 #include "pss/graph/undirected_graph.hpp"
+#include "pss/obs/degree_autocorrelation.hpp"
+#include "pss/obs/graph_census.hpp"
 #include "pss/sim/cycle_engine.hpp"
 #include "pss/stats/descriptive.hpp"
 
@@ -41,16 +43,48 @@ DegreeTraceResult run_degree_trace(ProtocolSpec spec, const ScenarioParams& para
   for (auto& s : trace.series) s.reserve(trace_cycles);
 
   sim::CycleEngine engine(network);
+
+  if (params.exact_metrics) {
+    // Reference path: one snapshot graph per traced cycle. Retained for
+    // small N; produces the same integers as the streaming path below
+    // (pinned by tests/obs_test.cpp).
+    for (Cycle t = 0; t < trace_cycles; ++t) {
+      engine.run_cycle();
+      const auto g = graph::UndirectedGraph::from_network(network);
+      for (std::size_t i = 0; i < traced_nodes.size(); ++i) {
+        const auto v = g.vertex_of(traced_nodes[i]);
+        PSS_CHECK_MSG(v != graph::UndirectedGraph::kNoVertex,
+                      "traced node disappeared from the overlay");
+        trace.series[i].push_back(static_cast<double>(g.degree(v)));
+      }
+      if (t + 1 == trace_cycles) trace.final_avg_degree = graph::average_degree(g);
+    }
+    return trace;
+  }
+
+  // Streaming path: union degrees straight off the arena census — no
+  // edge-list or snapshot-graph materialization per traced cycle.
+  obs::GraphCensus census;
+  obs::DegreeAutocorrelation tracker(traced_nodes, trace_cycles);
   for (Cycle t = 0; t < trace_cycles; ++t) {
     engine.run_cycle();
-    const auto g = graph::UndirectedGraph::from_network(network);
-    for (std::size_t i = 0; i < traced_nodes.size(); ++i) {
-      const auto v = g.vertex_of(traced_nodes[i]);
-      PSS_CHECK_MSG(v != graph::UndirectedGraph::kNoVertex,
+    census.rebuild(network);
+    for (const NodeId node : traced_nodes) {
+      PSS_CHECK_MSG(network.is_live(node),
                     "traced node disappeared from the overlay");
-      trace.series[i].push_back(static_cast<double>(g.degree(v)));
     }
-    if (t + 1 == trace_cycles) trace.final_avg_degree = graph::average_degree(g);
+    tracker.record(census);
+    if (t + 1 == trace_cycles) {
+      trace.final_avg_degree =
+          census.live_count() == 0
+              ? 0
+              : 2.0 * static_cast<double>(census.undirected_edge_count()) /
+                    static_cast<double>(census.live_count());
+    }
+  }
+  for (std::size_t i = 0; i < traced_nodes.size(); ++i) {
+    const auto s = tracker.series(i);
+    trace.series[i].assign(s.begin(), s.end());
   }
   return trace;
 }

@@ -61,7 +61,7 @@ class UndirectedGraph {
  private:
   UndirectedGraph() = default;
   void build_csr(std::size_t n,
-                 std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+                 const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
 
   std::vector<std::size_t> offsets_;        // n+1 CSR offsets
   std::vector<std::uint32_t> neighbors_;    // 2m sorted-per-vertex entries

@@ -19,26 +19,48 @@ UndirectedGraph::UndirectedGraph(
 }
 
 void UndirectedGraph::build_csr(
-    std::size_t n, std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
-  // Canonicalize: both orientations present, self-loops dropped, dedup.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> both;
-  both.reserve(edges.size() * 2);
-  for (auto [u, v] : edges) {
+    std::size_t n,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  // Degree-count pass (both endpoints, self-loops dropped): the neighbor
+  // array is reserved exactly from the counts, so nothing here materializes
+  // the historical doubled pair vector (2·E × 8 B) or pays its global sort.
+  offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
     PSS_CHECK_MSG(u < n && v < n, "edge endpoint out of range");
     if (u == v) continue;
-    both.emplace_back(u, v);
-    both.emplace_back(v, u);
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
   }
-  std::sort(both.begin(), both.end());
-  both.erase(std::unique(both.begin(), both.end()), both.end());
-
-  offsets_.assign(n + 1, 0);
-  for (const auto& [u, v] : both) ++offsets_[u + 1];
   for (std::size_t i = 1; i <= n; ++i) offsets_[i] += offsets_[i - 1];
-  neighbors_.resize(both.size());
+  neighbors_.resize(offsets_[n]);
   std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const auto& [u, v] : both) neighbors_[cursor[u]++] = v;
-  // Per-vertex lists are sorted because `both` was sorted lexicographically.
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    neighbors_[cursor[u]++] = v;
+    neighbors_[cursor[v]++] = u;
+  }
+  // Canonicalize per vertex — sort + dedup each list, compacting in place
+  // (the write position never overtakes the read position, and each old
+  // offset is saved before it is overwritten with the compacted one).
+  std::size_t write = 0;
+  std::size_t read_begin = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t read_end = offsets_[v + 1];
+    const auto first = neighbors_.begin() + static_cast<std::ptrdiff_t>(read_begin);
+    const auto last = neighbors_.begin() + static_cast<std::ptrdiff_t>(read_end);
+    std::sort(first, last);
+    const auto unique_end = std::unique(first, last);
+    const std::size_t len =
+        static_cast<std::size_t>(unique_end - first);
+    if (write != read_begin) {
+      std::move(first, first + static_cast<std::ptrdiff_t>(len),
+                neighbors_.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+    write += len;
+    read_begin = read_end;
+    offsets_[v + 1] = write;
+  }
+  neighbors_.resize(write);
 }
 
 UndirectedGraph UndirectedGraph::from_network(const sim::Network& network) {

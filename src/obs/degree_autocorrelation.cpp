@@ -1,0 +1,35 @@
+#include "pss/obs/degree_autocorrelation.hpp"
+
+#include "pss/common/check.hpp"
+#include "pss/stats/autocorrelation.hpp"
+
+namespace pss::obs {
+
+DegreeAutocorrelation::DegreeAutocorrelation(std::span<const NodeId> panel,
+                                             std::size_t capacity_cycles)
+    : panel_(panel.begin(), panel.end()), capacity_(capacity_cycles) {
+  PSS_CHECK_MSG(!panel_.empty(), "panel must not be empty");
+  PSS_CHECK_MSG(capacity_ > 0, "trace capacity must be positive");
+  degrees_.assign(panel_.size() * capacity_, 0);
+}
+
+void DegreeAutocorrelation::record(const GraphCensus& census) {
+  if (recorded_ >= capacity_) return;
+  for (std::size_t i = 0; i < panel_.size(); ++i) {
+    degrees_[i * capacity_ + recorded_] =
+        static_cast<double>(census.undirected_degree(panel_[i]));
+  }
+  ++recorded_;
+}
+
+std::span<const double> DegreeAutocorrelation::series(std::size_t i) const {
+  PSS_CHECK_MSG(i < panel_.size(), "panel index out of range");
+  return {degrees_.data() + i * capacity_, recorded_};
+}
+
+std::vector<double> DegreeAutocorrelation::autocorrelation(
+    std::size_t i, std::size_t max_lag) const {
+  return stats::autocorrelation(series(i), max_lag);
+}
+
+}  // namespace pss::obs

@@ -1,0 +1,340 @@
+#include "pss/obs/graph_census.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+
+namespace pss::obs {
+
+namespace {
+
+/// Mirrors graph::degree_summary's accumulation exactly — same casts, same
+/// live-ascending (= exact-graph vertex-ascending) order — so the returned
+/// doubles are bit-equal, not merely close.
+template <typename DegreeFn>
+DegreeStats summarize_degrees(std::span<const NodeId> live, DegreeFn degree) {
+  DegreeStats s;
+  const std::size_t n = live.size();
+  if (n == 0) return s;
+  s.min = degree(live[0]);
+  s.max = degree(live[0]);
+  double sum = 0, sum_sq = 0;
+  for (const NodeId id : live) {
+    const std::size_t d = degree(id);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  s.mean = sum / static_cast<double>(n);
+  s.variance = sum_sq / static_cast<double>(n) - s.mean * s.mean;
+  if (s.variance < 0) s.variance = 0;  // numeric noise
+  return s;
+}
+
+}  // namespace
+
+void GraphCensus::rebuild(const sim::Network& network) {
+  net_ = &network;
+  const std::size_t n = network.size();
+  const std::size_t c = network.options().view_size;
+
+  // Live list (ascending): index i is vertex i of the exact snapshot graph.
+  live_list_.reserve(n);
+  live_list_.clear();
+  for (NodeId id = 0; id < n; ++id) {
+    if (network.is_live(id)) live_list_.push_back(id);
+  }
+
+  // Pass 1 — one walk over the packed descriptors: live out-degrees and
+  // in-degree counts (the "count" half of the CSR build). The edge filter
+  // is exactly UndirectedGraph::from_network's: both endpoints live, no
+  // self-loops, out-of-range addresses dropped.
+  out_deg_.assign(n, 0);
+  in_off_.assign(n + 1, 0);
+  directed_edges_ = 0;
+  for (const NodeId v : live_list_) {
+    std::uint32_t out = 0;
+    for (const NodeDescriptor& d : network.view_span(v)) {
+      const NodeId w = d.address;
+      if (w == v || w >= n || !network.is_live(w)) continue;
+      ++out;
+      ++in_off_[w + 1];
+    }
+    out_deg_[v] = out;
+    directed_edges_ += out;
+  }
+  for (std::size_t i = 1; i <= n; ++i) in_off_[i] += in_off_[i - 1];
+
+  // Pass 2 — fill. Sources are visited in ascending address order, so
+  // every in-list comes out sorted without a sort.
+  if (in_nbr_.capacity() < directed_edges_) {
+    // First-rebuild warm-up: reserve the hard ceiling (every live view full
+    // of live targets) so steady state never grows this buffer again.
+    in_nbr_.reserve(std::max<std::size_t>(directed_edges_, n * c));
+  }
+  in_nbr_.resize(directed_edges_);
+  cursor_.assign(in_off_.begin(), in_off_.end() - 1);
+  for (const NodeId v : live_list_) {
+    for (const NodeDescriptor& d : network.view_span(v)) {
+      const NodeId w = d.address;
+      if (w == v || w >= n || !network.is_live(w)) continue;
+      in_nbr_[cursor_[w]++] = v;
+    }
+  }
+
+  // Pass 3 — undirected-union degrees: out + in − mutual, where mutual
+  // counts targets w of v that also point at v (one binary search per
+  // descriptor into v's own sorted in-list), streamed into the histogram.
+  und_deg_.assign(n, 0);
+  std::size_t max_deg = 0;
+  std::uint64_t und_sum = 0;
+  for (const NodeId v : live_list_) {
+    const std::span<const NodeId> sources = in_list(v);
+    std::uint32_t mutual = 0;
+    for (const NodeDescriptor& d : network.view_span(v)) {
+      const NodeId w = d.address;
+      if (w == v || w >= n || !network.is_live(w)) continue;
+      if (std::binary_search(sources.begin(), sources.end(), w)) ++mutual;
+    }
+    const std::uint32_t und = out_deg_[v] + in_degree(v) - mutual;
+    und_deg_[v] = und;
+    und_sum += und;
+    max_deg = std::max<std::size_t>(max_deg, und);
+  }
+  undirected_edges_ = und_sum / 2;
+
+  const std::size_t hist_size = max_deg + 1;
+  if (hist_.capacity() < hist_size) {
+    // Reserve 2x ahead of need (floor 512): after the warm-up snapshot,
+    // another allocation requires the max union degree to outgrow double
+    // its warm-up value — a protocol regime change, not the steady-state
+    // drift a converged overlay exhibits.
+    hist_.reserve(std::max<std::size_t>(512, 2 * hist_size));
+  }
+  hist_.assign(hist_size, 0);
+  for (const NodeId v : live_list_) ++hist_[und_deg_[v]];
+
+  und_stats_ = summarize_degrees(
+      live_list_, [this](NodeId id) { return std::size_t{und_deg_[id]}; });
+  in_stats_ = summarize_degrees(
+      live_list_, [this](NodeId id) { return std::size_t{in_degree(id)}; });
+  out_stats_ = summarize_degrees(
+      live_list_, [this](NodeId id) { return std::size_t{out_deg_[id]}; });
+
+  // Pass 4 — connected components by union-find over view slots.
+  parent_.resize(n);
+  comp_size_.resize(n);
+  for (const NodeId v : live_list_) {
+    parent_[v] = v;
+    comp_size_[v] = 1;
+  }
+  for (const NodeId v : live_list_) {
+    for (const NodeDescriptor& d : network.view_span(v)) {
+      const NodeId w = d.address;
+      if (w == v || w >= n || !network.is_live(w)) continue;
+      unite(v, w);
+    }
+  }
+  comp_sizes_.reserve(n);
+  comp_sizes_.clear();
+  for (const NodeId v : live_list_) {
+    if (find_root(v) == v) comp_sizes_.push_back(comp_size_[v]);
+  }
+  std::sort(comp_sizes_.rbegin(), comp_sizes_.rend());
+  components_.count = comp_sizes_.size();
+  components_.largest = comp_sizes_.empty() ? 0 : comp_sizes_.front();
+  components_.outside_largest = live_list_.size() - components_.largest;
+
+  // Clustering scratch: before dedup a node's out+in entry count is
+  // und + mutual <= 2 * und, so 2 * max_deg is a hard per-snapshot
+  // ceiling; as with the histogram, reserve 2x ahead of need so ordinary
+  // max-degree drift never re-allocates.
+  if (nbr_union_.capacity() < 2 * max_deg) {
+    nbr_union_.reserve(std::max<std::size_t>(512, 4 * max_deg));
+  }
+
+  // BFS state: sized once; epochs make per-call reset O(1).
+  if (stamp_.size() < n) {
+    stamp_.assign(n, 0);
+    epoch_ = 0;
+  }
+  dist_.resize(n);
+  queue_.reserve(n);
+}
+
+std::uint32_t GraphCensus::find_root(std::uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+void GraphCensus::unite(std::uint32_t a, std::uint32_t b) {
+  std::uint32_t ra = find_root(a);
+  std::uint32_t rb = find_root(b);
+  if (ra == rb) return;
+  if (comp_size_[ra] < comp_size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  comp_size_[ra] += comp_size_[rb];
+}
+
+bool GraphCensus::has_directed_edge(NodeId from, NodeId to) const {
+  const std::span<const NodeId> sources = in_list(to);
+  return std::binary_search(sources.begin(), sources.end(), from);
+}
+
+bool GraphCensus::has_undirected_edge(NodeId a, NodeId b) const {
+  return has_directed_edge(a, b) || has_directed_edge(b, a);
+}
+
+double GraphCensus::local_clustering(NodeId id) {
+  const sim::Network& network = *net_;
+  const std::size_t n = network.size();
+  nbr_union_.clear();
+  for (const NodeDescriptor& d : network.view_span(id)) {
+    const NodeId w = d.address;
+    if (w == id || w >= n || !network.is_live(w)) continue;
+    nbr_union_.push_back(w);
+  }
+  const std::span<const NodeId> sources = in_list(id);
+  nbr_union_.insert(nbr_union_.end(), sources.begin(), sources.end());
+  std::sort(nbr_union_.begin(), nbr_union_.end());
+  nbr_union_.erase(std::unique(nbr_union_.begin(), nbr_union_.end()),
+                   nbr_union_.end());
+  const std::size_t d = nbr_union_.size();
+  PSS_DCHECK(d == und_deg_[id]);
+  if (d < 2) return 0;
+  std::size_t links = 0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      if (has_undirected_edge(nbr_union_[i], nbr_union_[j])) ++links;
+    }
+  }
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double GraphCensus::clustering_sampled(std::size_t sample, Rng& rng) {
+  PSS_CHECK_MSG(net_ != nullptr, "rebuild() before sampling");
+  const std::size_t n = live_list_.size();
+  if (n == 0) return 0;
+  if (sample >= n) {
+    // Exact: every live node, ascending — the exact module's vertex order.
+    double sum = 0;
+    for (const NodeId id : live_list_) sum += local_clustering(id);
+    return sum / static_cast<double>(n);
+  }
+  PSS_CHECK_MSG(sample > 0, "sample size must be positive");
+  // Same draw sequence as rng.sample_indices (which delegates here), so a
+  // cloned Rng reproduces graph::clustering_coefficient_sampled bit-exactly.
+  rng.sample_indices_into(n, sample, picks_, pick_scratch_);
+  double sum = 0;
+  for (const std::size_t p : picks_) sum += local_clustering(live_list_[p]);
+  return sum / static_cast<double>(sample);
+}
+
+void GraphCensus::bfs(NodeId source) {
+  const sim::Network& network = *net_;
+  const std::size_t n = network.size();
+  if (++epoch_ == 0) {  // u32 wrap: reset stamps once every 4G calls
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  queue_.clear();
+  queue_.push_back(source);
+  dist_[source] = 0;
+  stamp_[source] = epoch_;
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId u = queue_[head++];
+    const std::uint32_t du = dist_[u];
+    // Undirected neighbourhood = out-targets ∪ in-sources; duplicates are
+    // harmless (the stamp check rejects revisits).
+    for (const NodeDescriptor& d : network.view_span(u)) {
+      const NodeId w = d.address;
+      if (w == u || w >= n || !network.is_live(w)) continue;
+      if (stamp_[w] != epoch_) {
+        stamp_[w] = epoch_;
+        dist_[w] = du + 1;
+        queue_.push_back(w);
+      }
+    }
+    for (const NodeId w : in_list(u)) {
+      if (stamp_[w] != epoch_) {
+        stamp_[w] = epoch_;
+        dist_[w] = du + 1;
+        queue_.push_back(w);
+      }
+    }
+  }
+}
+
+PathLengthEstimate GraphCensus::path_length_sampled(std::size_t sources,
+                                                    Rng& rng) {
+  PSS_CHECK_MSG(net_ != nullptr, "rebuild() before sampling");
+  const std::size_t n = live_list_.size();
+  PathLengthEstimate r;
+  const bool exhaustive = sources >= n;
+  if (!exhaustive) {
+    PSS_CHECK_MSG(sources > 0, "source sample must be positive");
+  }
+  if (n < 2 || sources == 0) return r;
+  if (!exhaustive) {
+    rng.sample_indices_into(n, sources, picks_, pick_scratch_);
+  } else {
+    // Every live node, ascending — mirrors graph::average_path_length
+    // (which consumes no randomness).
+    picks_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) picks_[i] = i;
+  }
+  double total = 0;
+  std::uint64_t reachable_pairs = 0;
+  std::uint32_t diameter = 0;
+  for (const std::size_t s : picks_) {
+    bfs(live_list_[s]);
+    // Accumulate in exact-graph vertex order (live ascending) so the
+    // floating-point sum is bit-equal to path_length_from_sources.
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == s) continue;
+      const NodeId id = live_list_[v];
+      if (stamp_[id] != epoch_) continue;
+      total += static_cast<double>(dist_[id]);
+      ++reachable_pairs;
+      diameter = std::max(diameter, dist_[id]);
+    }
+  }
+  const std::uint64_t all_pairs =
+      static_cast<std::uint64_t>(picks_.size()) * (n - 1);
+  r.average = reachable_pairs > 0
+                  ? total / static_cast<double>(reachable_pairs)
+                  : 0;
+  r.reachable_fraction =
+      all_pairs > 0
+          ? static_cast<double>(reachable_pairs) / static_cast<double>(all_pairs)
+          : 1;
+  r.diameter = diameter;
+  return r;
+}
+
+std::size_t GraphCensus::storage_bytes() const {
+  return live_list_.capacity() * sizeof(NodeId) +
+         out_deg_.capacity() * sizeof(std::uint32_t) +
+         und_deg_.capacity() * sizeof(std::uint32_t) +
+         in_off_.capacity() * sizeof(std::size_t) +
+         in_nbr_.capacity() * sizeof(NodeId) +
+         cursor_.capacity() * sizeof(std::size_t) +
+         hist_.capacity() * sizeof(std::uint64_t) +
+         parent_.capacity() * sizeof(std::uint32_t) +
+         comp_size_.capacity() * sizeof(std::uint32_t) +
+         comp_sizes_.capacity() * sizeof(std::size_t) +
+         dist_.capacity() * sizeof(std::uint32_t) +
+         stamp_.capacity() * sizeof(std::uint32_t) +
+         queue_.capacity() * sizeof(NodeId) +
+         picks_.capacity() * sizeof(std::size_t) +
+         pick_scratch_.capacity() * sizeof(std::size_t) +
+         nbr_union_.capacity() * sizeof(NodeId);
+}
+
+}  // namespace pss::obs

@@ -1,0 +1,53 @@
+// Fixed-panel degree tracker for Figure-5-style autocorrelation traces.
+//
+// The paper's Figure 5 records the undirected degree of a fixed random node
+// for K consecutive cycles and plots the sample autocorrelation r_k of that
+// series. This tracker holds a fixed panel of node ids chosen up front and
+// appends each panel node's union degree from a GraphCensus snapshot — so a
+// 10⁶-node run can trace a handful of nodes per cycle without ever building
+// the snapshot graph the legacy degree-trace path required.
+//
+// Storage is a single flat (panel × capacity) buffer preallocated at
+// construction: record() is allocation-free, which keeps the tracker usable
+// inside the zero-steady-state-allocation observability path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/obs/graph_census.hpp"
+
+namespace pss::obs {
+
+class DegreeAutocorrelation {
+ public:
+  /// Tracks `panel` (copied) for at most `capacity_cycles` recordings.
+  DegreeAutocorrelation(std::span<const NodeId> panel,
+                        std::size_t capacity_cycles);
+
+  std::size_t panel_size() const { return panel_.size(); }
+  std::size_t recorded_cycles() const { return recorded_; }
+  NodeId panel_node(std::size_t i) const { return panel_[i]; }
+
+  /// Appends every panel node's current undirected-union degree. The census
+  /// must have been rebuilt against a network that still contains the panel
+  /// nodes. No-op free of allocations; ignores recordings past capacity.
+  void record(const GraphCensus& census);
+
+  /// Degree series of panel node i (one double per recorded cycle).
+  std::span<const double> series(std::size_t i) const;
+
+  /// Sample autocorrelation r_k (k = 0..max_lag) of panel node i's series,
+  /// as stats::autocorrelation computes it (paper Figure 5).
+  std::vector<double> autocorrelation(std::size_t i, std::size_t max_lag) const;
+
+ private:
+  std::vector<NodeId> panel_;
+  std::size_t capacity_ = 0;
+  std::size_t recorded_ = 0;
+  std::vector<double> degrees_;  ///< panel-major: [i * capacity_ + t]
+};
+
+}  // namespace pss::obs

@@ -1,0 +1,29 @@
+#include "pss/obs/streaming_observer.hpp"
+
+namespace pss::obs {
+
+StreamingObserver::StreamingObserver(ObserverConfig config)
+    : config_(config), rng_(config.seed) {
+  records_.reserve(config_.reserve_records);
+}
+
+void StreamingObserver::on_snapshot(const sim::Network& network, Cycle cycle) {
+  census_.rebuild(network);
+  SnapshotRecord rec;
+  rec.cycle = cycle;
+  rec.live = census_.live_count();
+  rec.undirected_edges = census_.undirected_edge_count();
+  rec.degree = census_.degree_stats();
+  rec.in_degree = census_.in_degree_stats();
+  rec.out_degree = census_.out_degree_stats();
+  rec.components = census_.components();
+  if (config_.clustering_sample > 0) {
+    rec.clustering = census_.clustering_sampled(config_.clustering_sample, rng_);
+  }
+  if (config_.path_sources > 0) {
+    rec.path = census_.path_length_sampled(config_.path_sources, rng_);
+  }
+  records_.push_back(rec);
+}
+
+}  // namespace pss::obs

@@ -35,6 +35,7 @@ void CycleEngine::run_cycle() {
     execute_cycle_step(*network_, step, scratch_, stats_);
   }
   ++cycle_;
+  fire_probes(probes_, *network_, cycle_);
 }
 
 void CycleEngine::run(Cycle cycles) {

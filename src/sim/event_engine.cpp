@@ -212,8 +212,23 @@ void EventEngine::run_until(double until) {
 }
 
 void EventEngine::run_cycles(std::size_t cycles) {
-  ticks_ += cycles;
-  advance_to(tick_anchor_ + static_cast<double>(ticks_) * config_.period);
+  if (probes_.empty()) {
+    ticks_ += cycles;
+    probe_ticks_ += static_cast<Cycle>(cycles);  // keep the lifetime count
+    advance_to(tick_anchor_ + static_cast<double>(ticks_) * config_.period);
+    return;
+  }
+  // With probes attached, stop at every tick boundary so observers see the
+  // overlay at cycle granularity. Each target is computed from the anchor
+  // exactly as the probe-free path computes its single target, so the final
+  // time — and, events being totally (at, seq)-ordered, the whole event
+  // sequence — is identical with and without probes.
+  for (std::size_t i = 0; i < cycles; ++i) {
+    ++ticks_;
+    advance_to(tick_anchor_ + static_cast<double>(ticks_) * config_.period);
+    ++probe_ticks_;
+    fire_probes(probes_, *network_, probe_ticks_);
+  }
 }
 
 }  // namespace pss::sim

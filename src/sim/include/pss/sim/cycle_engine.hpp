@@ -33,6 +33,7 @@
 #include "pss/membership/flat_ops.hpp"
 #include "pss/sim/cycle_step.hpp"
 #include "pss/sim/network.hpp"
+#include "pss/sim/probe.hpp"
 
 namespace pss::sim {
 
@@ -53,12 +54,20 @@ class CycleEngine {
   /// Aggregate counters since construction.
   const EngineStats& stats() const { return stats_; }
 
+  /// Registers an observer fired after every `cadence`-th completed cycle
+  /// (see pss/sim/probe.hpp for the non-perturbation contract). The probe
+  /// must outlive the engine.
+  void attach_probe(SnapshotProbe& probe, Cycle cadence = 1) {
+    register_probe(probes_, probe, cadence);
+  }
+
  private:
   Network* network_;
   Cycle cycle_ = 0;
   EngineStats stats_;
   std::vector<NodeId> order_;  ///< per-cycle permutation, capacity reused
   flat::Scratch scratch_;      ///< exchange working memory, capacity reused
+  std::vector<ProbeRegistration> probes_;
 };
 
 }  // namespace pss::sim

@@ -43,6 +43,7 @@
 #include "pss/membership/flat_ops.hpp"
 #include "pss/sim/calendar_queue.hpp"
 #include "pss/sim/network.hpp"
+#include "pss/sim/probe.hpp"
 
 namespace pss::sim {
 
@@ -86,6 +87,17 @@ class EventEngine {
 
   /// Aggregate counters since construction.
   const EventEngineStats& stats() const { return stats_; }
+
+  /// Registers an observer fired at period-tick boundaries during
+  /// run_cycles: after every `cadence`-th completed tick, counted across
+  /// the engine's lifetime, with the tick count passed as the probe's
+  /// cycle. run_until does not fire probes (it has no tick structure).
+  /// Event processing is unaffected: events are totally ordered by
+  /// (at, seq), so stopping at intermediate tick boundaries replays the
+  /// exact same sequence. The probe must outlive the engine.
+  void attach_probe(SnapshotProbe& probe, Cycle cadence = 1) {
+    register_probe(probes_, probe, cadence);
+  }
 
   // --- Introspection (tests, bench drivers) --------------------------------
 
@@ -151,6 +163,8 @@ class EventEngine {
   std::size_t scheduled_nodes_ = 0;  ///< nodes whose wake-up loop is running
   double tick_anchor_ = 0;           ///< last explicit run_until target
   std::uint64_t ticks_ = 0;          ///< run_cycles ticks since the anchor
+  std::vector<ProbeRegistration> probes_;
+  Cycle probe_ticks_ = 0;            ///< lifetime tick count for cadence
 };
 
 }  // namespace pss::sim

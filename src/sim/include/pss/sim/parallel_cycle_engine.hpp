@@ -52,6 +52,7 @@
 #include "pss/sim/conflict_scheduler.hpp"
 #include "pss/sim/cycle_step.hpp"
 #include "pss/sim/network.hpp"
+#include "pss/sim/probe.hpp"
 #include "pss/sim/relaxed_lock.hpp"
 #include "pss/sim/thread_pool.hpp"
 
@@ -91,6 +92,14 @@ class ParallelCycleEngine {
   unsigned threads() const { return pool_.concurrency(); }
   ParallelPolicy policy() const { return config_.policy; }
 
+  /// Registers an observer fired on the driving thread after every
+  /// `cadence`-th cycle's end-of-cycle barrier — all lanes are quiescent, so
+  /// the probe may read any slot (see pss/sim/probe.hpp). The probe must
+  /// outlive the engine.
+  void attach_probe(SnapshotProbe& probe, Cycle cadence = 1) {
+    register_probe(probes_, probe, cadence);
+  }
+
  private:
   void build_order();
   void run_cycle_deterministic();
@@ -109,6 +118,7 @@ class ParallelCycleEngine {
   std::vector<CycleStep> batch_;   ///< current conflict-free batch
   std::vector<flat::Scratch> lane_scratch_;  ///< one per lane
   std::vector<EngineStats> lane_stats_;      ///< summed into stats_ per cycle
+  std::vector<ProbeRegistration> probes_;
 
   // Relaxed-mode state (empty under kDeterministic).
   std::uint64_t relaxed_seed_ = 0;

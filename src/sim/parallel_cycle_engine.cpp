@@ -84,6 +84,7 @@ void ParallelCycleEngine::run_cycle() {
     stats_.empty_views += s.empty_views;
   }
   ++cycle_;
+  fire_probes(probes_, *network_, cycle_);
 }
 
 void ParallelCycleEngine::run(Cycle cycles) {

@@ -1,0 +1,471 @@
+// The streaming observability contract, in three parts:
+//   1. Equivalence — GraphCensus observables vs the exact graph::metrics
+//      pipeline on the same snapshots: bit-equal degree histograms,
+//      summaries and component structure; sampled estimators reproduce the
+//      exact module's estimators draw-for-draw from a cloned Rng, and stay
+//      within documented error bounds of the fully exact values.
+//   2. Probe cadence — attach_probe fires at exactly the promised
+//      cycle/tick multiples on all three engines.
+//   3. Non-perturbation — a run with a StreamingObserver attached ends in a
+//      bit-identical network state (views, liveness, per-node stats and Rng
+//      stream positions) and engine stats as a run without probes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "pss/experiments/degree_trace.hpp"
+#include "pss/graph/metrics.hpp"
+#include "pss/graph/undirected_graph.hpp"
+#include "pss/obs/degree_autocorrelation.hpp"
+#include "pss/obs/graph_census.hpp"
+#include "pss/obs/streaming_observer.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/cycle_engine.hpp"
+#include "pss/sim/event_engine.hpp"
+#include "pss/sim/network.hpp"
+#include "pss/sim/parallel_cycle_engine.hpp"
+#include "pss/stats/autocorrelation.hpp"
+
+namespace pss {
+namespace {
+
+sim::Network make_converged(ProtocolSpec spec, std::size_t n, Cycle cycles,
+                            std::uint64_t seed = 42) {
+  sim::Network net(spec, ProtocolOptions{8, false}, seed);
+  net.add_nodes(n);
+  sim::bootstrap::init_random(net);
+  sim::CycleEngine engine(net);
+  engine.run(cycles);
+  return net;
+}
+
+/// Census vs exact pipeline on one snapshot: everything streamed must be
+/// bit-equal (integers and doubles alike — the census mirrors the exact
+/// module's accumulation order).
+void expect_census_matches_exact(const sim::Network& net) {
+  obs::GraphCensus census;
+  census.rebuild(net);
+  const auto g = graph::UndirectedGraph::from_network(net);
+
+  ASSERT_EQ(census.live_count(), g.vertex_count());
+  EXPECT_EQ(census.undirected_edge_count(), g.edge_count());
+
+  // Per-node degrees (union graph).
+  for (std::uint32_t v = 0; v < g.vertex_count(); ++v) {
+    const NodeId addr = g.address_of(v);
+    EXPECT_EQ(census.undirected_degree(addr), g.degree(v));
+  }
+
+  // Histogram: bit-equal, including size (= max degree + 1).
+  const auto exact_hist = graph::degree_histogram(g);
+  const auto hist = census.degree_histogram();
+  ASSERT_EQ(hist.size(), exact_hist.size());
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    EXPECT_EQ(hist[d], exact_hist[d]) << "degree " << d;
+  }
+
+  // Summary: bit-equal doubles (same accumulation order).
+  const auto exact_sum = graph::degree_summary(g);
+  EXPECT_EQ(census.degree_stats().min, exact_sum.min);
+  EXPECT_EQ(census.degree_stats().max, exact_sum.max);
+  EXPECT_EQ(census.degree_stats().mean, exact_sum.mean);
+  EXPECT_EQ(census.degree_stats().variance, exact_sum.variance);
+
+  // Components: count, largest, full size multiset.
+  const auto exact_comp = graph::connected_components(g);
+  EXPECT_EQ(census.components().count, exact_comp.count);
+  EXPECT_EQ(census.components().largest, exact_comp.largest);
+  EXPECT_EQ(census.components().outside_largest, exact_comp.outside_largest());
+  const auto sizes = census.component_sizes();
+  ASSERT_EQ(sizes.size(), exact_comp.sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], exact_comp.sizes[i]);
+  }
+}
+
+TEST(GraphCensus, MatchesExactPipelineAcrossProtocols) {
+  for (const auto& spec : ProtocolSpec::evaluated()) {
+    sim::Network net = make_converged(spec, 500, 20);
+    SCOPED_TRACE(spec.name());
+    expect_census_matches_exact(net);
+  }
+}
+
+TEST(GraphCensus, MatchesExactWithDeadNodesAndDeadLinks) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 600, 15);
+  net.kill_random(150, net.rng());  // views now carry dead links
+  expect_census_matches_exact(net);
+
+  // Keep gossiping over the damaged overlay, then re-check.
+  sim::CycleEngine engine(net);
+  engine.run(5);
+  expect_census_matches_exact(net);
+}
+
+TEST(GraphCensus, MatchesExactOnFragmentedOverlay) {
+  // Kill enough of a sparse overlay to fragment it: component accounting
+  // must agree with exact union-find on a multi-component graph.
+  sim::Network net(ProtocolSpec::newscast(), ProtocolOptions{3, false}, 7);
+  net.add_nodes(300);
+  sim::bootstrap::init_random(net);
+  sim::CycleEngine engine(net);
+  engine.run(10);
+  net.kill_random(200, net.rng());
+  obs::GraphCensus census;
+  census.rebuild(net);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  EXPECT_EQ(census.components().count, graph::connected_components(g).count);
+  expect_census_matches_exact(net);
+}
+
+TEST(GraphCensus, EmptyAndTinyNetworks) {
+  sim::Network net(ProtocolSpec::newscast(), ProtocolOptions{4, false}, 1);
+  obs::GraphCensus census;
+  census.rebuild(net);
+  EXPECT_EQ(census.live_count(), 0u);
+  EXPECT_EQ(census.components().count, 0u);
+  EXPECT_EQ(census.degree_histogram().size(), 1u);
+
+  net.add_node();  // one isolated node
+  census.rebuild(net);
+  EXPECT_EQ(census.live_count(), 1u);
+  EXPECT_EQ(census.components().count, 1u);
+  EXPECT_EQ(census.components().largest, 1u);
+  EXPECT_EQ(census.undirected_degree(0), 0u);
+}
+
+TEST(GraphCensus, RebuildReusesBuffersAcrossSnapshots) {
+  // The same census object must stay correct when reused over an evolving
+  // network (stale state from earlier snapshots must never leak).
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 400, 5);
+  obs::GraphCensus census;
+  sim::CycleEngine engine(net);
+  for (int i = 0; i < 4; ++i) {
+    engine.run(3);
+    census.rebuild(net);
+    const auto g = graph::UndirectedGraph::from_network(net);
+    ASSERT_EQ(census.undirected_edge_count(), g.edge_count());
+    ASSERT_EQ(census.degree_stats().mean, graph::degree_summary(g).mean);
+  }
+  net.kill_random(100, net.rng());
+  expect_census_matches_exact(net);
+}
+
+TEST(GraphCensus, SampledClusteringReproducesExactModuleDrawForDraw) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 800, 25);
+  obs::GraphCensus census;
+  census.rebuild(net);
+  const auto g = graph::UndirectedGraph::from_network(net);
+
+  Rng streaming_rng(1234);
+  Rng exact_rng(1234);
+  const double streamed = census.clustering_sampled(200, streaming_rng);
+  const double exact = graph::clustering_coefficient_sampled(g, 200, exact_rng);
+  EXPECT_EQ(streamed, exact);
+
+  // Exhaustive sample: equals the fully exact coefficient, rng untouched.
+  Rng unused(99);
+  EXPECT_EQ(census.clustering_sampled(10'000, unused),
+            graph::clustering_coefficient(g));
+}
+
+TEST(GraphCensus, SampledClusteringWithinErrorBoundOfExact) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 1000, 30);
+  obs::GraphCensus census;
+  census.rebuild(net);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  const double exact = graph::clustering_coefficient(g);
+  Rng rng(5);
+  // Documented bound (docs/ARCHITECTURE.md): a 300-vertex sample of a
+  // 10^3-node overlay stays within ±0.05 absolute of the exact coefficient.
+  EXPECT_NEAR(census.clustering_sampled(300, rng), exact, 0.05);
+}
+
+TEST(GraphCensus, SampledPathLengthReproducesExactModuleDrawForDraw) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 800, 25);
+  obs::GraphCensus census;
+  census.rebuild(net);
+  const auto g = graph::UndirectedGraph::from_network(net);
+
+  Rng streaming_rng(777);
+  Rng exact_rng(777);
+  const auto streamed = census.path_length_sampled(40, streaming_rng);
+  const auto exact = graph::average_path_length_sampled(g, 40, exact_rng);
+  EXPECT_EQ(streamed.average, exact.average);
+  EXPECT_EQ(streamed.reachable_fraction, exact.reachable_fraction);
+  EXPECT_EQ(streamed.diameter, exact.diameter);
+
+  // Exhaustive: equals the all-sources exact result, rng untouched.
+  Rng unused(99);
+  const auto all = census.path_length_sampled(10'000, unused);
+  const auto exact_all = graph::average_path_length(g);
+  EXPECT_EQ(all.average, exact_all.average);
+  EXPECT_EQ(all.reachable_fraction, exact_all.reachable_fraction);
+  EXPECT_EQ(all.diameter, exact_all.diameter);
+}
+
+TEST(GraphCensus, SampledPathLengthWithinErrorBoundOfExact) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 1000, 30);
+  obs::GraphCensus census;
+  census.rebuild(net);
+  const auto g = graph::UndirectedGraph::from_network(net);
+  const auto exact = graph::average_path_length(g);
+  Rng rng(11);
+  // Documented bound: 32 BFS sources estimate the all-pairs mean within 5%
+  // relative on a connected small-world overlay.
+  const auto est = census.path_length_sampled(32, rng);
+  EXPECT_NEAR(est.average, exact.average, 0.05 * exact.average);
+  // The c=8 overlay can carry a few stragglers outside the giant
+  // component; the sampled fraction tracks the exact one.
+  EXPECT_NEAR(est.reachable_fraction, exact.reachable_fraction, 0.05);
+}
+
+TEST(GraphCensus, PathLengthOnDisconnectedOverlayCountsReachablePairsOnly) {
+  sim::Network net(ProtocolSpec::newscast(), ProtocolOptions{3, false}, 7);
+  net.add_nodes(300);
+  sim::bootstrap::init_random(net);
+  sim::CycleEngine engine(net);
+  engine.run(10);
+  net.kill_random(200, net.rng());
+  obs::GraphCensus census;
+  census.rebuild(net);
+  if (census.components().count < 2) GTEST_SKIP() << "overlay stayed connected";
+  const auto g = graph::UndirectedGraph::from_network(net);
+  const auto exact = graph::average_path_length(g);
+  Rng unused(3);
+  const auto est = census.path_length_sampled(census.live_count(), unused);
+  EXPECT_EQ(est.average, exact.average);
+  EXPECT_EQ(est.reachable_fraction, exact.reachable_fraction);
+  EXPECT_LT(est.reachable_fraction, 1.0);
+}
+
+TEST(DegreeAutocorrelation, TracksPanelDegreesAndMatchesStatsModule) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 300, 10);
+  const std::vector<NodeId> panel = {3, 77, 150};
+  obs::DegreeAutocorrelation tracker(panel, 20);
+  obs::GraphCensus census;
+  sim::CycleEngine engine(net);
+
+  std::vector<std::vector<double>> expected(panel.size());
+  for (Cycle t = 0; t < 20; ++t) {
+    engine.run_cycle();
+    census.rebuild(net);
+    tracker.record(census);
+    for (std::size_t i = 0; i < panel.size(); ++i) {
+      expected[i].push_back(
+          static_cast<double>(census.undirected_degree(panel[i])));
+    }
+  }
+  ASSERT_EQ(tracker.recorded_cycles(), 20u);
+  for (std::size_t i = 0; i < panel.size(); ++i) {
+    const auto series = tracker.series(i);
+    ASSERT_EQ(series.size(), expected[i].size());
+    for (std::size_t t = 0; t < series.size(); ++t) {
+      EXPECT_EQ(series[t], expected[i][t]);
+    }
+    const auto r = tracker.autocorrelation(i, 5);
+    const auto want = stats::autocorrelation(expected[i], 5);
+    ASSERT_EQ(r.size(), want.size());
+    for (std::size_t k = 0; k < r.size(); ++k) EXPECT_EQ(r[k], want[k]);
+  }
+  EXPECT_DOUBLE_EQ(tracker.autocorrelation(0, 3)[0], 1.0);
+
+  // Recording past capacity is an explicit no-op.
+  tracker.record(census);
+  EXPECT_EQ(tracker.recorded_cycles(), 20u);
+}
+
+TEST(DegreeTrace, StreamingPathMatchesLegacyExactPath) {
+  // The degree-trace experiment ported onto the census must reproduce the
+  // legacy UndirectedGraph-per-cycle path number for number.
+  experiments::ScenarioParams params;
+  params.n = 300;
+  params.view_size = 8;
+  params.cycles = 10;
+  params.seed = 21;
+
+  const auto streaming = experiments::run_degree_trace(
+      ProtocolSpec::newscast(), params, /*traced=*/4, /*trace_cycles=*/8);
+  params.exact_metrics = true;
+  const auto exact = experiments::run_degree_trace(
+      ProtocolSpec::newscast(), params, /*traced=*/4, /*trace_cycles=*/8);
+
+  ASSERT_EQ(streaming.series.size(), exact.series.size());
+  for (std::size_t i = 0; i < streaming.series.size(); ++i) {
+    ASSERT_EQ(streaming.series[i].size(), exact.series[i].size());
+    for (std::size_t t = 0; t < streaming.series[i].size(); ++t) {
+      EXPECT_EQ(streaming.series[i][t], exact.series[i][t]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(streaming.final_avg_degree, exact.final_avg_degree);
+}
+
+// --- Probe cadence ----------------------------------------------------------
+
+class CountingProbe final : public sim::SnapshotProbe {
+ public:
+  void on_snapshot(const sim::Network& network, Cycle cycle) override {
+    fired.push_back(cycle);
+    live_seen.push_back(network.live_count());
+  }
+  std::vector<Cycle> fired;
+  std::vector<std::size_t> live_seen;
+};
+
+TEST(SnapshotProbe, CycleEngineCadence) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 100, 0);
+  sim::CycleEngine engine(net);
+  CountingProbe every, third;
+  engine.attach_probe(every);
+  engine.attach_probe(third, 3);
+  engine.run(10);
+  EXPECT_EQ(every.fired,
+            (std::vector<Cycle>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(third.fired, (std::vector<Cycle>{3, 6, 9}));
+}
+
+TEST(SnapshotProbe, ParallelCycleEngineCadence) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 100, 0);
+  sim::ParallelCycleEngine engine(
+      net, {/*threads=*/3, sim::ParallelPolicy::kDeterministic});
+  CountingProbe probe;
+  engine.attach_probe(probe, 2);
+  engine.run(7);
+  EXPECT_EQ(probe.fired, (std::vector<Cycle>{2, 4, 6}));
+}
+
+TEST(SnapshotProbe, EventEngineTickCadenceAccumulatesAcrossCalls) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 100, 0);
+  sim::EventEngine engine(net, {});
+  CountingProbe probe;
+  engine.attach_probe(probe, 2);
+  engine.run_cycles(5);
+  EXPECT_EQ(probe.fired, (std::vector<Cycle>{2, 4}));
+  engine.run_cycles(3);  // lifetime ticks 6, 7, 8
+  EXPECT_EQ(probe.fired, (std::vector<Cycle>{2, 4, 6, 8}));
+}
+
+// --- Non-perturbation -------------------------------------------------------
+
+/// FNV-1a over liveness, views, per-node counters and Rng stream positions
+/// (the scale_parallel digest): equal digests <=> equal final states.
+std::uint64_t state_digest(const sim::Network& net) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  const flat::NodeArena& arena = net.arena();
+  for (NodeId id = 0; id < net.size(); ++id) {
+    const auto view = net.view_span(id);
+    mix((static_cast<std::uint64_t>(view.size()) << 1) |
+        (net.is_live(id) ? 1 : 0));
+    for (const auto& d : view) {
+      mix((static_cast<std::uint64_t>(d.hop_count) << 32) | d.address);
+    }
+    const NodeStats& s = arena.stats[id];
+    mix(s.initiated);
+    mix(s.received);
+    mix(s.replies_sent);
+    mix(s.contact_failures);
+    Rng probe_rng = arena.rngs[id];
+    mix(probe_rng());
+  }
+  return h;
+}
+
+TEST(SnapshotProbe, ObserverDoesNotPerturbCycleEngine) {
+  sim::Network plain = make_converged(ProtocolSpec::newscast(), 400, 0, 9);
+  sim::Network observed = make_converged(ProtocolSpec::newscast(), 400, 0, 9);
+  ASSERT_EQ(state_digest(plain), state_digest(observed));
+
+  sim::CycleEngine plain_engine(plain);
+  sim::CycleEngine observed_engine(observed);
+  obs::StreamingObserver observer({/*clustering_sample=*/50,
+                                   /*path_sources=*/4, /*seed=*/123,
+                                   /*reserve_records=*/16});
+  observed_engine.attach_probe(observer);
+  plain_engine.run(12);
+  observed_engine.run(12);
+
+  EXPECT_EQ(observer.records().size(), 12u);
+  EXPECT_EQ(state_digest(plain), state_digest(observed));
+  EXPECT_EQ(plain_engine.stats().exchanges, observed_engine.stats().exchanges);
+  EXPECT_EQ(plain_engine.stats().failed_contacts,
+            observed_engine.stats().failed_contacts);
+}
+
+TEST(SnapshotProbe, ObserverDoesNotPerturbParallelCycleEngine) {
+  sim::Network plain = make_converged(ProtocolSpec::newscast(), 400, 0, 9);
+  sim::Network observed = make_converged(ProtocolSpec::newscast(), 400, 0, 9);
+
+  sim::ParallelCycleEngine plain_engine(
+      plain, {/*threads=*/4, sim::ParallelPolicy::kDeterministic});
+  sim::ParallelCycleEngine observed_engine(
+      observed, {/*threads=*/4, sim::ParallelPolicy::kDeterministic});
+  obs::StreamingObserver observer({/*clustering_sample=*/50,
+                                   /*path_sources=*/4, /*seed=*/123,
+                                   /*reserve_records=*/16});
+  observed_engine.attach_probe(observer, 3);
+  plain_engine.run(9);
+  observed_engine.run(9);
+
+  EXPECT_EQ(observer.records().size(), 3u);
+  EXPECT_EQ(state_digest(plain), state_digest(observed));
+}
+
+TEST(SnapshotProbe, ObserverDoesNotPerturbEventEngine) {
+  // Also pins that the tick-by-tick advance the probe path uses replays
+  // the exact event sequence of the probe-free single-target advance.
+  sim::Network plain = make_converged(ProtocolSpec::newscast(), 300, 0, 9);
+  sim::Network observed = make_converged(ProtocolSpec::newscast(), 300, 0, 9);
+
+  sim::EventEngineConfig config;
+  config.drop_probability = 0.05;
+  sim::EventEngine plain_engine(plain, config);
+  sim::EventEngine observed_engine(observed, config);
+  obs::StreamingObserver observer({/*clustering_sample=*/50,
+                                   /*path_sources=*/4, /*seed=*/123,
+                                   /*reserve_records=*/16});
+  observed_engine.attach_probe(observer, 2);
+  plain_engine.run_cycles(8);
+  observed_engine.run_cycles(8);
+
+  EXPECT_EQ(observer.records().size(), 4u);
+  EXPECT_EQ(plain_engine.now(), observed_engine.now());
+  EXPECT_EQ(state_digest(plain), state_digest(observed));
+  EXPECT_EQ(plain_engine.stats().wakeups, observed_engine.stats().wakeups);
+  EXPECT_EQ(plain_engine.stats().messages_sent,
+            observed_engine.stats().messages_sent);
+  EXPECT_EQ(plain_engine.stats().messages_dropped,
+            observed_engine.stats().messages_dropped);
+}
+
+TEST(StreamingObserver, RecordsStreamTheExpectedObservables) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 500, 10);
+  sim::CycleEngine engine(net);
+  obs::StreamingObserver observer({/*clustering_sample=*/100,
+                                   /*path_sources=*/8, /*seed=*/7,
+                                   /*reserve_records=*/8});
+  engine.attach_probe(observer, 2);
+  engine.run(6);
+
+  ASSERT_EQ(observer.records().size(), 3u);
+  const auto& rec = observer.latest();
+  EXPECT_EQ(rec.cycle, 6u);
+  EXPECT_EQ(rec.live, 500u);
+  EXPECT_GT(rec.degree.mean, 0.0);
+  EXPECT_GE(rec.degree.max, rec.degree.min);
+  EXPECT_EQ(rec.components.count, 1u);
+  EXPECT_EQ(rec.components.largest, 500u);
+  EXPECT_GT(rec.clustering, 0.0);
+  EXPECT_GT(rec.path.average, 1.0);
+  // Out-degree can never exceed the view capacity; the union degree can.
+  EXPECT_LE(rec.out_degree.max, 8u);
+  EXPECT_GE(rec.degree.max, rec.out_degree.max);
+}
+
+}  // namespace
+}  // namespace pss
