@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "pss/common/env.hpp"
+#include "pss/scenarios/digest.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/cycle_engine.hpp"
 #include "pss/sim/network.hpp"
@@ -71,41 +72,10 @@ std::vector<std::size_t> parse_list(const std::string& text,
   return out;
 }
 
-/// FNV-1a over every slot's liveness, view size, descriptors, exchange
-/// counters and Rng stream position: equal digests <=> equal final
-/// states under the deterministic contract (views, per-node stats, and
-/// per-node Rng consumption — a divergence in any of them, e.g. a
-/// dropped `initiated` increment or a desynchronized stream, flips the
-/// digest even when the views happen to agree). The per-node view size
-/// is mixed in as framing so a descriptor cannot silently migrate across
-/// a node boundary while hashing the same value sequence. Cheap enough
-/// for 10^6 nodes.
-std::uint64_t state_digest(const pss::sim::Network& net) {
-  std::uint64_t h = 1469598103934665603ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  const pss::flat::NodeArena& arena = net.arena();
-  for (pss::NodeId id = 0; id < net.size(); ++id) {
-    const auto view = net.view_span(id);
-    mix((static_cast<std::uint64_t>(view.size()) << 1) |
-        (net.is_live(id) ? 1 : 0));
-    for (const auto& d : view) {
-      mix((static_cast<std::uint64_t>(d.hop_count) << 32) | d.address);
-    }
-    const pss::NodeStats& s = arena.stats[id];
-    mix(s.initiated);
-    mix(s.received);
-    mix(s.replies_sent);
-    mix(s.contact_failures);
-    // Probe the stream position without perturbing it: Rng is a value
-    // type, so drawing from a copy leaves the node's stream untouched.
-    pss::Rng probe = arena.rngs[id];
-    mix(probe());
-  }
-  return h;
-}
+// The equivalence digest lives in pss/scenarios/digest.hpp (shared with
+// scale_scenarios and the differential test suite, so every "bit-identical"
+// claim in the repo is checked by the same fold).
+using pss::scenarios::state_digest;
 
 struct RunResult {
   std::string mode;  // "sequential" | "deterministic" | "relaxed"

@@ -49,15 +49,32 @@ void GraphCensus::rebuild(const sim::Network& network) {
   // Pass 1 — one walk over the packed descriptors: live out-degrees and
   // in-degree counts (the "count" half of the CSR build). The edge filter
   // is exactly UndirectedGraph::from_network's: both endpoints live, no
-  // self-loops, out-of-range addresses dropped.
+  // self-loops, out-of-range addresses dropped. The entries the filter
+  // discards are themselves paper observables, so they are tallied as they
+  // stream past instead of re-walked: dead links (Figure 7's self-healing
+  // metric — dead or out-of-range targets, self-loops excluded) and
+  // cross-partition links (Section 8 — live targets in another group).
+  // Both tallies match Network::count_dead_links /
+  // count_cross_partition_links bit for bit (pinned by tests/obs_test.cpp);
+  // the separate O(N·c) walks those helpers make are no longer needed when
+  // a census was just rebuilt.
   out_deg_.assign(n, 0);
   in_off_.assign(n + 1, 0);
   directed_edges_ = 0;
+  dead_links_ = 0;
+  cross_links_ = 0;
+  const bool partitioned = network.partitioned();
   for (const NodeId v : live_list_) {
+    const std::uint32_t gv = partitioned ? network.partition_group(v) : 0;
     std::uint32_t out = 0;
     for (const NodeDescriptor& d : network.view_span(v)) {
       const NodeId w = d.address;
-      if (w == v || w >= n || !network.is_live(w)) continue;
+      if (w >= n || !network.is_live(w)) {
+        ++dead_links_;
+        continue;
+      }
+      if (w == v) continue;
+      if (partitioned && network.partition_group(w) != gv) ++cross_links_;
       ++out;
       ++in_off_[w + 1];
     }

@@ -110,6 +110,17 @@ class GraphCensus {
   /// Directed live->live non-self view entries.
   std::uint64_t directed_edge_count() const { return directed_edges_; }
 
+  /// Live nodes' view entries pointing at dead (or never-allocated)
+  /// addresses — bit-equal to Network::count_dead_links() on the same
+  /// state, streamed out of pass 1 instead of a second O(N·c) walk (the
+  /// paper's Figure 7 "overall dead links" metric).
+  std::uint64_t dead_link_count() const { return dead_links_; }
+
+  /// Live nodes' view entries pointing at live nodes of a different
+  /// partition group — bit-equal to Network::count_cross_partition_links()
+  /// (the Section 8 split-memory metric). Zero while unpartitioned.
+  std::uint64_t cross_partition_link_count() const { return cross_links_; }
+
   /// Edges of the undirected union overlay (mutual pairs collapse to one).
   std::uint64_t undirected_edge_count() const { return undirected_edges_; }
 
@@ -167,6 +178,8 @@ class GraphCensus {
   const sim::Network* net_ = nullptr;
   std::uint64_t directed_edges_ = 0;
   std::uint64_t undirected_edges_ = 0;
+  std::uint64_t dead_links_ = 0;
+  std::uint64_t cross_links_ = 0;
   DegreeStats und_stats_, in_stats_, out_stats_;
   ComponentStats components_;
 

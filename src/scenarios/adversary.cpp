@@ -1,0 +1,62 @@
+#include "pss/scenarios/adversary.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+
+namespace pss::scenarios {
+
+AdversaryModel::AdversaryModel(AdversaryConfig config) : config_(config) {
+  if (config_.kind == AdversaryKind::kForgery) {
+    // The receiver's address may itself fall inside the fabricated range,
+    // so the range needs one address of slack beyond forged_per_message for
+    // the distinct-draw loop to always terminate.
+    PSS_CHECK_MSG(config_.fabricated_range > config_.forged_per_message,
+                  "fabricated_range too small for forged_per_message");
+  }
+  forge_seq_.assign(config_.byzantine_count, 0);
+}
+
+void AdversaryModel::forge_buffer(NodeId sender, NodeId receiver,
+                                  std::vector<NodeDescriptor>& buffer) {
+  PSS_DCHECK(is_byzantine(sender));
+  const std::uint32_t call = forge_seq_[sender]++;
+  buffer.clear();
+  if (config_.kind == AdversaryKind::kHubPoison) {
+    // The whole attack is one descriptor: maximally fresh self-promotion.
+    buffer.push_back({sender, 0});
+    return;
+  }
+  // Descriptor forgery. The receiver's own address rides along at hop 0 —
+  // absorb's self-drop must discard it (the property test target) — plus
+  // forged_per_message distinct fabricated addresses, all at hop 0 so they
+  // out-compete honest entries under head selection. Content comes from a
+  // pure (seed, sender, call) stream: independent of thread interleaving.
+  buffer.push_back({receiver, 0});
+  Rng rng = Rng::stream_at(config_.seed, sender, call);
+  const std::size_t want = config_.forged_per_message + 1;
+  while (buffer.size() < want) {
+    const NodeId addr =
+        config_.fabricated_base +
+        static_cast<NodeId>(rng.below(config_.fabricated_range));
+    bool duplicate = false;
+    for (const NodeDescriptor& d : buffer) {
+      if (d.address == addr) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) buffer.push_back({addr, 0});
+  }
+  // All entries share hop 0, so normalization (the tamper contract's
+  // I1/I2) is a single address sort; distinctness was enforced above.
+  std::sort(buffer.begin(), buffer.end(), ByHopThenAddress{});
+}
+
+std::uint64_t AdversaryModel::forged_messages() const {
+  std::uint64_t total = 0;
+  for (const std::uint32_t n : forge_seq_) total += n;
+  return total;
+}
+
+}  // namespace pss::scenarios

@@ -1,0 +1,94 @@
+// State digests: the currency of every differential contract in the repo.
+//
+// A digest is an FNV-1a fold over a run's complete observable state; two
+// runs are declared equivalent exactly when their digests match. This
+// header is the single definition — bench/scale_parallel.cpp's
+// deterministic-vs-sequential gate, bench/scale_scenarios' differential
+// phase and the tests/scenarios_test.cpp suite all hash through it, so
+// "equivalent" means the same thing everywhere.
+//
+// Two digests are provided:
+//   state_digest  — the full simulation state: per node, its liveness,
+//     view (size-framed so descriptors cannot migrate across node
+//     boundaries while hashing the same value sequence), NodeStats
+//     counters and Rng stream position (probed via a copy — Rng is a value
+//     type, so the node's stream is not perturbed). Equal digests imply
+//     equal views, equal per-node stats AND equal per-node Rng
+//     consumption: a desynchronized stream flips the digest even when the
+//     views happen to agree.
+//   census_digest — the measurement layer's verdict on a rebuilt
+//     GraphCensus: degree histogram, degree summaries (bit-cast doubles:
+//     bit-equality, not closeness), components, dead and cross-partition
+//     link tallies. Used where two runs should agree about *observables*
+//     computed through an independent code path.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "pss/obs/graph_census.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::scenarios {
+
+/// FNV-1a accumulator; fold 64-bit words with mix().
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    h_ ^= v;
+    h_ *= 1099511628211ULL;
+  }
+  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+/// Full-state digest; see the header comment. O(N·c), cheap at 10^6 nodes.
+inline std::uint64_t state_digest(const sim::Network& net) {
+  Fnv1a h;
+  const flat::NodeArena& arena = net.arena();
+  for (NodeId id = 0; id < net.size(); ++id) {
+    const auto view = net.view_span(id);
+    h.mix((static_cast<std::uint64_t>(view.size()) << 1) |
+          (net.is_live(id) ? 1 : 0));
+    for (const auto& d : view) {
+      h.mix((static_cast<std::uint64_t>(d.hop_count) << 32) | d.address);
+    }
+    const NodeStats& s = arena.stats[id];
+    h.mix(s.initiated);
+    h.mix(s.received);
+    h.mix(s.replies_sent);
+    h.mix(s.contact_failures);
+    Rng probe = arena.rngs[id];
+    h.mix(probe());
+  }
+  return h.value();
+}
+
+/// Observable-layer digest over a rebuilt census; see the header comment.
+inline std::uint64_t census_digest(const obs::GraphCensus& census) {
+  Fnv1a h;
+  h.mix(census.live_count());
+  h.mix(census.directed_edge_count());
+  h.mix(census.undirected_edge_count());
+  h.mix(census.dead_link_count());
+  h.mix(census.cross_partition_link_count());
+  for (const std::uint64_t count : census.degree_histogram()) h.mix(count);
+  for (const obs::DegreeStats* s :
+       {&census.degree_stats(), &census.in_degree_stats(),
+        &census.out_degree_stats()}) {
+    h.mix(s->min);
+    h.mix(s->max);
+    h.mix_double(s->mean);
+    h.mix_double(s->variance);
+  }
+  const obs::ComponentStats& c = census.components();
+  h.mix(c.count);
+  h.mix(c.largest);
+  h.mix(c.outside_largest);
+  return h.value();
+}
+
+}  // namespace pss::scenarios

@@ -1,0 +1,70 @@
+// Named, size-independent stress scenarios.
+//
+// A ScenarioSpec describes one adversarial or trace-driven run with every
+// knob expressed as a *fraction of the population* (byzantine share, churn
+// rates, flash-crowd size), so the same spec scales from the 10^4-node CI
+// smoke to the 10^6-node bench sweep unchanged. adversary_for()/churn_for()
+// materialize the fractions into concrete AdversaryConfig/TraceChurnConfig
+// for a given n.
+//
+// The registry is the shared vocabulary of the scenario subsystem: the
+// bench/scale_scenarios driver iterates it, the golden-trace tests pin a
+// digest per entry, and docs/SCENARIOS.md documents each row. Adding a
+// scenario here automatically enrolls it in all three.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "pss/scenarios/adversary.hpp"
+#include "pss/scenarios/trace_churn.hpp"
+
+namespace pss::scenarios {
+
+struct ScenarioSpec {
+  std::string name;
+  std::string summary;
+
+  // --- Adversary (byzantine_fraction 0 = honest run) ----------------------
+  AdversaryKind adversary_kind = AdversaryKind::kHubPoison;
+  double byzantine_fraction = 0;
+  std::size_t forged_per_message = 0;  ///< kForgery payload size
+
+  // --- Churn (all zero = static membership) -------------------------------
+  double join_fraction = 0;   ///< joins per cycle, fraction of n
+  double leave_fraction = 0;  ///< leaves per cycle, fraction of n
+  std::size_t contacts_per_join = 1;
+  DiurnalCurve diurnal;
+  double flash_fraction = 0;  ///< one-shot join burst, fraction of n
+  Cycle flash_cycle = 0;      ///< cycle of the burst
+  SessionConfig sessions;     ///< Pareto lifetimes (seed filled per run)
+
+  bool has_adversary() const { return byzantine_fraction > 0; }
+  bool has_churn() const {
+    return join_fraction > 0 || leave_fraction > 0 || flash_fraction > 0 ||
+           sessions.pareto_alpha > 0;
+  }
+
+  /// Concrete adversary for an n-node population running view size c:
+  /// byzantine_count = max(1, n * fraction), forgery payload capped at c
+  /// (tamper buffer contract), fabricated addresses in [4n, 5n) — outside
+  /// any id this run can allocate, so forged entries stay dead links.
+  AdversaryConfig adversary_for(std::size_t n, std::size_t view_size,
+                                std::uint64_t seed) const;
+
+  /// Concrete churn trace for an n-node population; `seed` keys the Pareto
+  /// lifetime streams.
+  TraceChurnConfig churn_for(std::size_t n, std::uint64_t seed) const;
+};
+
+/// The built-in scenarios, stable order (golden digests index into this):
+/// baseline, uniform-churn, flash-crowd, diurnal, pareto-sessions,
+/// hub-poison, forgery.
+std::span<const ScenarioSpec> scenario_registry();
+
+/// Registry lookup by name; nullptr when absent.
+const ScenarioSpec* find_scenario(std::string_view name);
+
+}  // namespace pss::scenarios

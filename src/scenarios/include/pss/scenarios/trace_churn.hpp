@@ -1,0 +1,138 @@
+// Trace-driven churn: ChurnModel generalized to realistic membership
+// dynamics.
+//
+// ChurnModel (pss/sim/churn.hpp) applies constant per-cycle join/leave
+// rates — the right model for steady-state experiments, but measured P2P
+// traces show three structures it cannot express:
+//
+//   flash crowds — a large one-shot join burst (e.g. 10^5 newcomers inside
+//     a single cycle) when an application goes live;
+//   diurnal cycles — join/leave rates swinging sinusoidally with the time
+//     of day;
+//   heavy-tailed sessions — node lifetimes following a Pareto law, so most
+//     sessions are short while a few nodes stay for orders of magnitude
+//     longer (the empirical finding of Saroiu et al.'s Gnutella/Napster
+//     measurements).
+//
+// TraceChurn layers all three over the same flat join/kill machinery.
+// Determinism mirrors the rest of the simulator:
+//   - rate draws and bootstrap contacts come from the one Rng handed in;
+//   - each node's session length is a pure function of (session seed, node
+//     id) via a counter-based stream — a node's lifetime is decided the
+//     moment it is born and never depends on interleaving;
+//   - scheduled deaths pop from a min-heap keyed (death cycle, id), a total
+//     order, so the kill sequence is reproducible.
+//
+// Differential contract (pinned by tests/scenarios_test.cpp): a TraceChurn
+// whose config enables none of the three extensions (is_uniform()) applies
+// bit-identically to a ChurnModel built from the same (base config, Rng) —
+// same kills, same joins, same Rng consumption — because it literally
+// delegates to an embedded ChurnModel in that mode.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/membership/node_descriptor.hpp"
+#include "pss/sim/churn.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss::scenarios {
+
+/// One-shot join burst: `joins` extra nodes injected at apply() call
+/// number `at_cycle` (0-based).
+struct FlashCrowd {
+  Cycle at_cycle = 0;
+  std::size_t joins = 0;
+};
+
+/// Sinusoidal rate modulation: at cycle t both join and leave rates are
+/// multiplied by 1 + amplitude * sin(2*pi * (t mod period) / period),
+/// clamped at 0. period 0 disables modulation.
+struct DiurnalCurve {
+  Cycle period = 0;
+  double amplitude = 0;
+};
+
+/// Pareto session lengths: a node born at cycle t dies at
+/// t + xm * (1 - u)^(-1/alpha) cycles, u its per-id uniform draw.
+/// alpha in (1, 2] gives the heavy tail measured in deployed systems
+/// (finite mean xm * alpha / (alpha - 1), infinite variance at alpha <= 2).
+/// alpha 0 disables session-driven deaths.
+struct SessionConfig {
+  double pareto_alpha = 0;
+  double pareto_xm = 1;
+  std::uint64_t seed = 0;
+};
+
+struct TraceChurnConfig {
+  sim::ChurnConfig base;  ///< constant rates + bootstrap contact count
+  DiurnalCurve diurnal;
+  std::vector<FlashCrowd> flash_crowds;
+  SessionConfig sessions;
+
+  /// True when no extension is active — the mode that delegates to
+  /// ChurnModel bit-identically.
+  bool is_uniform() const {
+    return diurnal.period == 0 && flash_crowds.empty() &&
+           sessions.pareto_alpha == 0;
+  }
+};
+
+class TraceChurn {
+ public:
+  TraceChurn(TraceChurnConfig config, Rng rng);
+
+  /// Applies one cycle of churn: session deaths due now, then rate-driven
+  /// kills, then joins (modulated base rate plus any flash crowd scheduled
+  /// for this cycle). Like ChurnModel, never kills below
+  /// `contacts_per_join + 1` live nodes — session deaths that would cross
+  /// the floor are deferred to the next cycle, not dropped.
+  void apply(sim::Network& network);
+
+  const sim::ChurnStats& stats() const {
+    return config_.is_uniform() ? base_.stats() : stats_;
+  }
+
+  /// apply() calls so far — the trace clock.
+  Cycle cycle() const { return cycle_; }
+
+  /// Session deaths currently scheduled (test observability).
+  std::size_t pending_deaths() const { return deaths_.size(); }
+
+  /// The Pareto session length of node `id`, in cycles: inverse-CDF
+  /// transform of a (seed, id)-keyed uniform draw. Pure function — tests
+  /// predict any node's death cycle from the config alone.
+  static Cycle pareto_lifetime(const SessionConfig& sessions, NodeId id);
+
+  /// The diurnal rate multiplier at cycle t (1.0 when period is 0).
+  static double diurnal_factor(const DiurnalCurve& curve, Cycle t);
+
+ private:
+  void seed_initial_lifetimes(const sim::Network& network);
+  void apply_session_deaths(sim::Network& network, std::size_t floor);
+  void join_one(sim::Network& network);
+
+  TraceChurnConfig config_;
+  sim::ChurnModel base_;  ///< uniform-mode delegate (bit-identity anchor)
+  Rng rng_;               ///< trace-mode draws (kills, bootstrap contacts)
+  sim::ChurnStats stats_;
+  Cycle cycle_ = 0;
+  bool lifetimes_seeded_ = false;
+
+  /// Min-heap of (death cycle, id): pop order is the deterministic kill
+  /// order (pairs are unique — one death per id).
+  using Death = std::pair<Cycle, NodeId>;
+  std::priority_queue<Death, std::vector<Death>, std::greater<Death>> deaths_;
+
+  // Reused join buffers, mirroring ChurnModel's.
+  std::vector<std::size_t> picks_;
+  std::vector<std::size_t> fy_;
+  std::vector<NodeDescriptor> entries_;
+};
+
+}  // namespace pss::scenarios

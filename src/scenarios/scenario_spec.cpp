@@ -1,0 +1,132 @@
+#include "pss/scenarios/scenario_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace pss::scenarios {
+
+namespace {
+
+std::size_t fraction_of(std::size_t n, double fraction) {
+  return static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * fraction));
+}
+
+std::vector<ScenarioSpec> build_registry() {
+  std::vector<ScenarioSpec> specs;
+
+  {
+    ScenarioSpec s;
+    s.name = "baseline";
+    s.summary = "honest static run; the differential anchor";
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "uniform-churn";
+    s.summary = "constant 1%/cycle turnover (ChurnModel-equivalent mode)";
+    s.join_fraction = 0.01;
+    s.leave_fraction = 0.01;
+    s.contacts_per_join = 3;
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "flash-crowd";
+    s.summary = "population doubles in one cycle (n joins at cycle 10)";
+    s.flash_fraction = 1.0;
+    s.flash_cycle = 10;
+    s.contacts_per_join = 3;
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "diurnal";
+    s.summary = "1%/cycle turnover swinging +/-80% on a 24-cycle day";
+    s.join_fraction = 0.01;
+    s.leave_fraction = 0.01;
+    s.contacts_per_join = 3;
+    s.diurnal = {24, 0.8};
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "pareto-sessions";
+    s.summary = "heavy-tailed lifetimes (alpha 1.5, xm 12) + 3%/cycle joins";
+    s.join_fraction = 0.03;
+    s.contacts_per_join = 3;
+    // Mean session = xm * alpha / (alpha - 1) = 36 cycles, so ~2.8% of the
+    // population dies per cycle at equilibrium; 3% joins roughly replace it.
+    s.sessions.pareto_alpha = 1.5;
+    s.sessions.pareto_xm = 12;
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "hub-poison";
+    s.summary = "1% of nodes always push {self, hop 0} and never age";
+    s.adversary_kind = AdversaryKind::kHubPoison;
+    s.byzantine_fraction = 0.01;
+    specs.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s;
+    s.name = "forgery";
+    s.summary = "1% of nodes push 8 fabricated dead addresses per message";
+    s.adversary_kind = AdversaryKind::kForgery;
+    s.byzantine_fraction = 0.01;
+    s.forged_per_message = 8;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+}  // namespace
+
+AdversaryConfig ScenarioSpec::adversary_for(std::size_t n,
+                                            std::size_t view_size,
+                                            std::uint64_t seed) const {
+  AdversaryConfig config;
+  config.kind = adversary_kind;
+  config.byzantine_count =
+      std::max<std::size_t>(1, fraction_of(n, byzantine_fraction));
+  config.forged_per_message = std::min(forged_per_message, view_size);
+  // Fabricated addresses live in [4n, 5n): even a flash crowd that doubles
+  // the population cannot allocate ids up there, so every forged entry is
+  // a dead link by construction.
+  config.fabricated_base = static_cast<NodeId>(4 * n);
+  config.fabricated_range =
+      std::max<std::uint64_t>(n, config.forged_per_message + 1);
+  config.seed = seed;
+  return config;
+}
+
+TraceChurnConfig ScenarioSpec::churn_for(std::size_t n,
+                                         std::uint64_t seed) const {
+  TraceChurnConfig config;
+  config.base.joins_per_cycle = fraction_of(n, join_fraction);
+  config.base.leaves_per_cycle = fraction_of(n, leave_fraction);
+  config.base.contacts_per_join = contacts_per_join;
+  config.diurnal = diurnal;
+  if (flash_fraction > 0) {
+    config.flash_crowds.push_back({flash_cycle, fraction_of(n, flash_fraction)});
+  }
+  config.sessions = sessions;
+  config.sessions.seed = seed;
+  return config;
+}
+
+std::span<const ScenarioSpec> scenario_registry() {
+  static const std::vector<ScenarioSpec> registry = build_registry();
+  return registry;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  for (const ScenarioSpec& spec : scenario_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace pss::scenarios

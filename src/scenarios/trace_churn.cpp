@@ -1,0 +1,147 @@
+#include "pss/scenarios/trace_churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pss/common/check.hpp"
+
+namespace pss::scenarios {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Rate scaled by the diurnal factor, rounded to the nearest integer (so a
+/// symmetric sinusoid preserves the mean rate over a full period).
+std::size_t scaled_rate(std::size_t base, double factor) {
+  return static_cast<std::size_t>(
+      std::llround(static_cast<double>(base) * factor));
+}
+
+}  // namespace
+
+TraceChurn::TraceChurn(TraceChurnConfig config, Rng rng)
+    : config_(std::move(config)), base_(config_.base, rng), rng_(rng) {
+  PSS_CHECK_MSG(config_.sessions.pareto_alpha >= 0,
+                "pareto_alpha must be non-negative");
+  if (config_.sessions.pareto_alpha > 0) {
+    PSS_CHECK_MSG(config_.sessions.pareto_xm > 0,
+                  "pareto_xm must be positive");
+  }
+}
+
+Cycle TraceChurn::pareto_lifetime(const SessionConfig& sessions, NodeId id) {
+  PSS_DCHECK(sessions.pareto_alpha > 0);
+  Rng stream = Rng::stream_at(sessions.seed, id, 0);
+  const double u = stream.uniform();  // in [0, 1): 1 - u never hits 0
+  const double life =
+      sessions.pareto_xm * std::pow(1.0 - u, -1.0 / sessions.pareto_alpha);
+  // The heavy tail can produce astronomically long sessions; a billion
+  // cycles is immortal for any run this simulator performs and keeps the
+  // death-cycle arithmetic safely inside the 32-bit Cycle.
+  const double capped = std::min(life, 1.0e9);
+  return std::max<Cycle>(1, static_cast<Cycle>(capped));
+}
+
+double TraceChurn::diurnal_factor(const DiurnalCurve& curve, Cycle t) {
+  if (curve.period == 0) return 1.0;
+  const double phase = static_cast<double>(t % curve.period) /
+                       static_cast<double>(curve.period);
+  const double factor = 1.0 + curve.amplitude * std::sin(kTwoPi * phase);
+  return factor < 0 ? 0.0 : factor;
+}
+
+void TraceChurn::seed_initial_lifetimes(const sim::Network& network) {
+  // The population present at the first apply() is the "trace start": every
+  // live node gets its id-keyed lifetime, in ascending id order (the heap
+  // contents are order-independent, but determinism costs nothing).
+  for (NodeId id = 0; id < network.size(); ++id) {
+    if (!network.is_live(id)) continue;
+    deaths_.push({cycle_ + pareto_lifetime(config_.sessions, id), id});
+  }
+  lifetimes_seeded_ = true;
+}
+
+void TraceChurn::apply_session_deaths(sim::Network& network,
+                                      std::size_t floor) {
+  while (!deaths_.empty() && deaths_.top().first <= cycle_) {
+    const Death due = deaths_.top();
+    if (!network.is_live(due.second)) {
+      // Already removed by rate-driven churn; its scheduled death lapses.
+      deaths_.pop();
+      continue;
+    }
+    if (network.live_count() <= floor) {
+      // Kill floor reached: defer this death to the next cycle (later due
+      // entries simply stay in the heap and re-surface then too).
+      deaths_.pop();
+      deaths_.push({cycle_ + 1, due.second});
+      break;
+    }
+    deaths_.pop();
+    network.kill(due.second);
+    ++stats_.left;
+  }
+}
+
+void TraceChurn::join_one(sim::Network& network) {
+  // Byte-for-byte the ChurnModel flat join (see churn.cpp): contacts from
+  // the incremental live pool, hop-0 descriptors sorted straight into the
+  // newcomer's arena slot.
+  const std::size_t c = network.options().view_size;
+  const auto live = network.live_ids();
+  const std::size_t contacts =
+      std::min(config_.base.contacts_per_join, live.size());
+  rng_.sample_indices_into(live.size(), contacts, picks_, fy_);
+  entries_.clear();
+  for (std::size_t p : picks_) entries_.push_back({live[p], 0});
+  std::sort(entries_.begin(), entries_.end(), ByHopThenAddress{});
+  if (entries_.size() > c) entries_.resize(c);
+  const NodeId newcomer = network.add_node();
+  network.arena().views.assign(newcomer, entries_);
+  ++stats_.joined;
+  if (config_.sessions.pareto_alpha > 0) {
+    deaths_.push(
+        {cycle_ + pareto_lifetime(config_.sessions, newcomer), newcomer});
+  }
+}
+
+void TraceChurn::apply(sim::Network& network) {
+  if (config_.is_uniform()) {
+    // The differential anchor: uniform mode IS ChurnModel (same config,
+    // same Rng, same code path), so the bit-identity contract is
+    // structural rather than re-implemented.
+    base_.apply(network);
+    ++cycle_;
+    return;
+  }
+  const std::size_t floor = config_.base.contacts_per_join + 1;
+  if (config_.sessions.pareto_alpha > 0 && !lifetimes_seeded_) {
+    seed_initial_lifetimes(network);
+  }
+  apply_session_deaths(network, floor);
+
+  // Rate-driven kills, diurnal-modulated, honoring the same floor as
+  // ChurnModel::apply.
+  const double factor = diurnal_factor(config_.diurnal, cycle_);
+  std::size_t kills = scaled_rate(config_.base.leaves_per_cycle, factor);
+  if (network.live_count() > floor) {
+    kills = std::min(kills, network.live_count() - floor);
+  } else {
+    kills = 0;
+  }
+  if (kills > 0) {
+    network.kill_random(kills, rng_);
+    stats_.left += kills;
+  }
+
+  // Joins: modulated base rate plus any flash crowd scheduled for now.
+  std::size_t joins = scaled_rate(config_.base.joins_per_cycle, factor);
+  for (const FlashCrowd& crowd : config_.flash_crowds) {
+    if (crowd.at_cycle == cycle_) joins += crowd.joins;
+  }
+  for (std::size_t j = 0; j < joins; ++j) join_one(network);
+  ++cycle_;
+}
+
+}  // namespace pss::scenarios

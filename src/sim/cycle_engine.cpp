@@ -32,7 +32,7 @@ void CycleEngine::run_cycle() {
     if (!network_->is_live(initiator)) continue;
     // The shared two-phase body, back to back (see cycle_step.hpp).
     const CycleStep step = select_cycle_step(*network_, initiator);
-    execute_cycle_step(*network_, step, scratch_, stats_);
+    execute_cycle_step(*network_, step, scratch_, stats_, tamper_);
   }
   ++cycle_;
   fire_probes(probes_, *network_, cycle_);

@@ -39,6 +39,21 @@ void EventEngine::push_event(double at, Kind kind, NodeId from, NodeId to,
   queue_.push(at, next_seq_++, e);
 }
 
+std::uint32_t EventEngine::maybe_forge_slab(NodeId sender, NodeId receiver,
+                                            DescriptorSlabPool::SlabId slab,
+                                            std::uint32_t size) {
+  if (tamper_ == nullptr || !tamper_->is_byzantine(sender)) return size;
+  NodeDescriptor* data = pool_.data(slab);
+  forged_.assign(data, data + size);
+  tamper_->forge_buffer(sender, receiver, forged_);
+  // The tamper contract caps forged buffers at view_size + 1 entries —
+  // exactly one slab (the same bound an honest push buffer satisfies).
+  PSS_CHECK_MSG(forged_.size() <= network_->options().view_size + 1,
+                "forged buffer exceeds message slab capacity");
+  std::copy(forged_.begin(), forged_.end(), data);
+  return static_cast<std::uint32_t>(forged_.size());
+}
+
 void EventEngine::send_request(NodeId from, NodeId to,
                                std::uint64_t exchange_id) {
   ++stats_.messages_sent;
@@ -51,9 +66,10 @@ void EventEngine::send_request(NodeId from, NodeId to,
       config_.min_latency +
       rng.uniform() * (config_.max_latency - config_.min_latency);
   const DescriptorSlabPool::SlabId slab = pool_.acquire();
-  const std::uint32_t n = flat::write_active_buffer(
+  std::uint32_t n = flat::write_active_buffer(
       network_->arena().views.view_of(from), from, network_->spec().push(),
       pool_.data(slab));
+  n = maybe_forge_slab(from, to, slab, n);
   pool_.set_size(slab, n);
   push_event(now_ + latency, Kind::kRequest, from, to, exchange_id, slab);
 }
@@ -79,7 +95,9 @@ void EventEngine::on_wakeup(NodeId id) {
   flat::NodeArena& arena = network_->arena();
   expire_pending(id);
 
-  arena.views.age(id);  // once-per-period aging (timestamp semantics)
+  if (tamper_ == nullptr || !tamper_->suppress_aging(id)) {
+    arena.views.age(id);  // once-per-period aging (timestamp semantics)
+  }
   auto peer = flat::select_peer(arena.views.view_of(id),
                                 network_->spec().peer_selection,
                                 arena.rngs[id]);
@@ -129,11 +147,12 @@ void EventEngine::on_request(const FlatEvent& e) {
 
   NodeDescriptor* request = pool_.data(e.slab);
   NodeDescriptor* reply_out = deliver_reply ? pool_.data(reply_slab) : nullptr;
-  const std::uint32_t reply_size = flat::handle_request(
+  std::uint32_t reply_size = flat::handle_request(
       arena, e.to, request, pool_.size(e.slab), reply_out, network_->spec(),
       network_->options(), scratch_);
   pool_.release(e.slab);
   if (deliver_reply) {
+    reply_size = maybe_forge_slab(e.to, e.from, reply_slab, reply_size);
     pool_.set_size(reply_slab, reply_size);
     push_event(now_ + latency, Kind::kReply, e.to, e.from, e.exchange_id,
                reply_slab);

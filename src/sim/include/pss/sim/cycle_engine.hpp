@@ -61,6 +61,12 @@ class CycleEngine {
     register_probe(probes_, probe, cadence);
   }
 
+  /// Registers the byzantine-injection hook (see ExchangeTamper in
+  /// cycle_step.hpp). A tamper that never forges or suppresses leaves the
+  /// run bit-identical to an unhooked engine — the differential contract
+  /// tests/scenarios_test.cpp pins. The tamper must outlive the engine.
+  void attach_adversary(ExchangeTamper& tamper) { tamper_ = &tamper; }
+
  private:
   Network* network_;
   Cycle cycle_ = 0;
@@ -68,6 +74,7 @@ class CycleEngine {
   std::vector<NodeId> order_;  ///< per-cycle permutation, capacity reused
   flat::Scratch scratch_;      ///< exchange working memory, capacity reused
   std::vector<ProbeRegistration> probes_;
+  ExchangeTamper* tamper_ = nullptr;  ///< byzantine seam; null = honest run
 };
 
 }  // namespace pss::sim

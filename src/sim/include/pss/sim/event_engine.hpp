@@ -42,6 +42,7 @@
 #include "pss/membership/descriptor_slab_pool.hpp"
 #include "pss/membership/flat_ops.hpp"
 #include "pss/sim/calendar_queue.hpp"
+#include "pss/sim/cycle_step.hpp"
 #include "pss/sim/network.hpp"
 #include "pss/sim/probe.hpp"
 
@@ -99,6 +100,15 @@ class EventEngine {
     register_probe(probes_, probe, cadence);
   }
 
+  /// Registers the byzantine-injection hook (see ExchangeTamper in
+  /// cycle_step.hpp): byzantine wake-ups skip view aging, and byzantine
+  /// request/reply payloads are rewritten in their message slabs just
+  /// before they go on the wire. Message timing, losses and the master Rng
+  /// are untouched, so a tamper that never forges or suppresses leaves the
+  /// run bit-identical to an unhooked engine. The tamper must outlive the
+  /// engine.
+  void attach_adversary(ExchangeTamper& tamper) { tamper_ = &tamper; }
+
   // --- Introspection (tests, bench drivers) --------------------------------
 
   /// Events currently scheduled (wake-ups + in-flight messages).
@@ -142,6 +152,11 @@ class EventEngine {
 
   void advance_to(double until);
   void schedule_new_nodes();
+  /// Rewrites a byzantine sender's slab in place through the tamper; the
+  /// slab's entry count after forging is returned (== `size` when honest).
+  std::uint32_t maybe_forge_slab(NodeId sender, NodeId receiver,
+                                 DescriptorSlabPool::SlabId slab,
+                                 std::uint32_t size);
   void push_event(double at, Kind kind, NodeId from, NodeId to,
                   std::uint64_t exchange_id, DescriptorSlabPool::SlabId slab);
   void send_request(NodeId from, NodeId to, std::uint64_t exchange_id);
@@ -165,6 +180,8 @@ class EventEngine {
   std::uint64_t ticks_ = 0;          ///< run_cycles ticks since the anchor
   std::vector<ProbeRegistration> probes_;
   Cycle probe_ticks_ = 0;            ///< lifetime tick count for cadence
+  ExchangeTamper* tamper_ = nullptr;  ///< byzantine seam; null = honest run
+  std::vector<NodeDescriptor> forged_;  ///< forge staging buffer, reused
 };
 
 }  // namespace pss::sim

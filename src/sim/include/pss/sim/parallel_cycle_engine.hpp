@@ -100,6 +100,17 @@ class ParallelCycleEngine {
     register_probe(probes_, probe, cadence);
   }
 
+  /// Registers the byzantine-injection hook (see ExchangeTamper in
+  /// cycle_step.hpp). Hooks fire on worker lanes; the tamper's thread-safety
+  /// contract (const classification, per-sender forge state) plus the
+  /// engine's schedule (conflict batches / pair locks serialize any one
+  /// node's steps) keep this race-free. In Deterministic mode a hooked run
+  /// stays bit-identical to the hooked sequential engine at any thread
+  /// count, provided the tamper's forgery depends only on (sender,
+  /// per-sender call index) — which is how AdversaryModel derives its
+  /// streams. The tamper must outlive the engine.
+  void attach_adversary(ExchangeTamper& tamper) { tamper_ = &tamper; }
+
  private:
   void build_order();
   void run_cycle_deterministic();
@@ -119,6 +130,7 @@ class ParallelCycleEngine {
   std::vector<flat::Scratch> lane_scratch_;  ///< one per lane
   std::vector<EngineStats> lane_stats_;      ///< summed into stats_ per cycle
   std::vector<ProbeRegistration> probes_;
+  ExchangeTamper* tamper_ = nullptr;  ///< byzantine seam; null = honest run
 
   // Relaxed-mode state (empty under kDeterministic).
   std::uint64_t relaxed_seed_ = 0;

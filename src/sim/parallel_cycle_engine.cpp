@@ -111,7 +111,8 @@ void ParallelCycleEngine::run_cycle_deterministic() {
   };
   // Single-node steps execute on the scanning thread, lane 0.
   auto inline_exec = [&](const CycleStep& step) {
-    execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0]);
+    execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0],
+                       tamper_);
   };
   while (scheduler_.next_batch(select, inline_exec, batch_)) {
     execute_batch();
@@ -122,7 +123,8 @@ void ParallelCycleEngine::execute_batch() {
   if (batch_.empty()) return;
   if (pool_.concurrency() == 1 || batch_.size() <= kInlineBatch) {
     for (const CycleStep& step : batch_) {
-      execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0]);
+      execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0],
+                         tamper_);
     }
     return;
   }
@@ -135,7 +137,7 @@ void ParallelCycleEngine::execute_batch() {
         if (i + 1 < batch_.size()) {
           arena.prefetch_node(batch_[i + 1].initiator);
         }
-        execute_cycle_step(*network_, batch_[i], scratch, stats);
+        execute_cycle_step(*network_, batch_[i], scratch, stats, tamper_);
       });
 }
 
@@ -156,6 +158,10 @@ void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
                                            flat::Scratch& scratch,
                                            EngineStats& stats) {
   flat::NodeArena& arena = network_->arena();
+  // Byzantine aging suppression, decided once (const lookup, no lock
+  // needed); see ExchangeTamper in cycle_step.hpp.
+  const bool age_self =
+      tamper_ == nullptr || !tamper_->suppress_aging(initiator);
   // Phase 1 under the initiator's lock alone: draw the peer from a
   // counter-derived stream (the arena's sequential per-node streams stay
   // untouched in Relaxed mode). The same derived generator later serves
@@ -166,14 +172,14 @@ void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
   const auto peer = flat::select_peer(arena.views.view_of(initiator),
                                       network_->spec().peer_selection, rng);
   if (!peer) {
-    arena.views.age(initiator);
+    if (age_self) arena.views.age(initiator);
     locks_[initiator].unlock();
     ++stats.empty_views;
     return;
   }
   if (!network_->is_live(*peer) ||
       !network_->can_communicate(initiator, *peer)) {
-    arena.views.age(initiator);
+    if (age_self) arena.views.age(initiator);
     ++arena.stats[initiator].initiated;
     flat::contact_failure(arena, initiator, *peer, network_->options());
     locks_[initiator].unlock();
@@ -190,12 +196,18 @@ void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
   const NodeId hi = std::max(initiator, *peer);
   locks_[lo].lock();
   locks_[hi].lock();
-  arena.views.age(initiator);
+  if (age_self) arena.views.age(initiator);
   ++arena.stats[initiator].initiated;
   Rng peer_rng =
       Rng::stream_at(relaxed_seed_, *peer, participations_[*peer]++);
-  flat::run_exchange_with(arena, initiator, *peer, network_->spec(),
-                          network_->options(), scratch, rng, peer_rng);
+  if (tamper_ == nullptr) {
+    flat::run_exchange_with(arena, initiator, *peer, network_->spec(),
+                            network_->options(), scratch, rng, peer_rng);
+  } else {
+    run_exchange_tampered(arena, initiator, *peer, network_->spec(),
+                          network_->options(), scratch, rng, peer_rng,
+                          *tamper_);
+  }
   locks_[hi].unlock();
   locks_[lo].unlock();
   ++stats.exchanges;

@@ -147,6 +147,90 @@ TEST(ChurnModel, FlatJoinTruncatesToViewSize) {
   }
 }
 
+TEST(ChurnModel, KillFloorLandsExactlyAtContactsPlusOne) {
+  // The floor is contacts_per_join + 1, exactly: a kill budget larger than
+  // the population must stop at the floor, not one above or below it.
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{4, false}, 40, 31);
+  ChurnModel churn({.leaves_per_cycle = 1000, .joins_per_cycle = 0,
+                    .contacts_per_join = 6},
+                   Rng(32));
+  churn.apply(net);
+  EXPECT_EQ(net.live_count(), 7u);
+  EXPECT_EQ(churn.stats().left, 33u);
+  // At the floor, further kill budgets are entirely suppressed — but joins
+  // still work and bootstrap from the floor population.
+  ChurnModel more({.leaves_per_cycle = 5, .joins_per_cycle = 2,
+                   .contacts_per_join = 6},
+                  Rng(33));
+  more.apply(net);
+  EXPECT_EQ(more.stats().left, 0u);
+  EXPECT_EQ(more.stats().joined, 2u);
+  EXPECT_EQ(net.live_count(), 9u);
+}
+
+TEST(ChurnModel, ZeroChurnIsAPerfectNoOp) {
+  auto net = bootstrap::make_random(ProtocolSpec::newscast(),
+                                    ProtocolOptions{5, false}, 30, 35);
+  std::vector<std::vector<NodeDescriptor>> before;
+  for (NodeId id = 0; id < net.size(); ++id) {
+    const auto v = net.view_span(id);
+    before.emplace_back(v.begin(), v.end());
+  }
+  ChurnModel churn({.leaves_per_cycle = 0, .joins_per_cycle = 0,
+                    .contacts_per_join = 2},
+                   Rng(36));
+  churn.apply(net);
+  churn.apply(net);
+  EXPECT_EQ(churn.stats().left, 0u);
+  EXPECT_EQ(churn.stats().joined, 0u);
+  ASSERT_EQ(net.size(), 30u);
+  EXPECT_EQ(net.live_count(), 30u);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    const auto v = net.view_span(id);
+    EXPECT_EQ(before[id],
+              std::vector<NodeDescriptor>(v.begin(), v.end()))
+        << "node " << id;
+  }
+}
+
+TEST(ChurnModel, JoinsIntoNearEmptyNetworkClampContacts) {
+  // One live node: every newcomer asks for 5 contacts but can only get as
+  // many as are live at its join instant — earlier newcomers count.
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{8, false}, 37);
+  net.add_node();
+  ChurnModel churn({.leaves_per_cycle = 0, .joins_per_cycle = 3,
+                    .contacts_per_join = 5},
+                   Rng(38));
+  churn.apply(net);
+  ASSERT_EQ(net.live_count(), 4u);
+  EXPECT_EQ(net.view_span(1).size(), 1u);  // only node 0 was live
+  EXPECT_EQ(net.view_span(2).size(), 2u);  // nodes 0 and 1
+  EXPECT_EQ(net.view_span(3).size(), 3u);
+  for (NodeId id = 1; id < 4; ++id) {
+    for (const auto& d : net.view_span(id)) {
+      EXPECT_NE(d.address, id);
+      EXPECT_LT(d.address, id);  // contacts predate the newcomer
+    }
+  }
+}
+
+TEST(ChurnModel, JoinIntoFullyDeadNetworkYieldsEmptyView) {
+  // Degenerate but reachable via external kills: no live contacts at all.
+  // The join must still succeed, producing an isolated empty-view node.
+  Network net(ProtocolSpec::newscast(), ProtocolOptions{4, false}, 39);
+  net.add_nodes(3);
+  for (NodeId id = 0; id < 3; ++id) net.kill(id);
+  ASSERT_EQ(net.live_count(), 0u);
+  ChurnModel churn({.leaves_per_cycle = 0, .joins_per_cycle = 1,
+                    .contacts_per_join = 4},
+                   Rng(40));
+  churn.apply(net);
+  EXPECT_EQ(net.live_count(), 1u);
+  EXPECT_TRUE(net.is_live(3));
+  EXPECT_TRUE(net.view_span(3).empty());
+}
+
 TEST(ChurnModel, DeadLinksStayBoundedWithHeadSelection) {
   // Head view selection ages dead descriptors out quickly; under steady
   // churn the dead-link count must stabilize well below the total link

@@ -2,7 +2,9 @@
 // accounting, and random kills.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "pss/sim/network.hpp"
 
@@ -124,6 +126,52 @@ TEST(Network, NodeRngsAreIndependent) {
     pairs.insert({*net.node(0).select_peer(), *net.node(1).select_peer()});
   }
   EXPECT_GT(pairs.size(), 3u);
+}
+
+TEST(Network, LiveIdPoolSurvivesRandomizedMembershipStorm) {
+  // The incremental swap-remove pool (live_ids) must agree with a naive
+  // recomputed live list after ANY interleaving of add/kill/revive — the
+  // pool is order-unspecified, so compare as sorted sets plus invariants.
+  auto net = make(8, 99);
+  std::vector<bool> naive(8, true);
+  Rng rng(100);
+  for (int op = 0; op < 1500; ++op) {
+    const std::uint64_t pick = rng.below(10);
+    if (pick < 2) {  // add
+      const NodeId id = net.add_node();
+      ASSERT_EQ(id, naive.size());
+      naive.push_back(true);
+    } else if (pick < 6) {  // kill a random slot (maybe already dead)
+      const NodeId id =
+          static_cast<NodeId>(rng.below(naive.size()));
+      net.kill(id);
+      naive[id] = false;
+    } else if (pick < 9) {  // revive a random slot (maybe already live)
+      const NodeId id =
+          static_cast<NodeId>(rng.below(naive.size()));
+      net.revive(id);
+      naive[id] = true;
+    } else if (net.live_count() > 0) {  // random sampled kills via the pool
+      const std::size_t count = 1 + rng.below(net.live_count());
+      net.kill_random(count, rng);
+      for (NodeId id = 0; id < naive.size(); ++id) {
+        naive[id] = net.is_live(id);
+      }
+    }
+    // Cross-check the pool against the naive scan every step.
+    ASSERT_EQ(net.size(), naive.size());
+    std::vector<NodeId> expected;
+    for (NodeId id = 0; id < naive.size(); ++id) {
+      if (naive[id]) expected.push_back(id);
+      ASSERT_EQ(net.is_live(id), naive[id]) << "op " << op << " node " << id;
+    }
+    const auto pool = net.live_ids();
+    std::vector<NodeId> actual(pool.begin(), pool.end());
+    std::sort(actual.begin(), actual.end());
+    ASSERT_EQ(actual, expected) << "op " << op;  // once each, no ghosts
+    ASSERT_EQ(net.live_count(), expected.size());
+    ASSERT_EQ(net.live_nodes(), expected);  // the O(N) path agrees too
+  }
 }
 
 }  // namespace

@@ -153,6 +153,64 @@ TEST(GraphCensus, RebuildReusesBuffersAcrossSnapshots) {
   expect_census_matches_exact(net);
 }
 
+TEST(GraphCensus, DeadLinkTallyIsBitEqualToNetworkCount) {
+  // The dead-link tally folded into census pass 1 must agree exactly with
+  // Network::count_dead_links on every overlay shape: clean, churned, and
+  // after further gossip over the damaged views.
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 600, 15);
+  obs::GraphCensus census;
+  census.rebuild(net);
+  EXPECT_EQ(census.dead_link_count(), 0u);
+  EXPECT_EQ(census.dead_link_count(), net.count_dead_links());
+
+  net.kill_random(200, net.rng());
+  census.rebuild(net);
+  EXPECT_GT(census.dead_link_count(), 0u);
+  EXPECT_EQ(census.dead_link_count(), net.count_dead_links());
+
+  sim::CycleEngine engine(net);
+  engine.run(4);
+  census.rebuild(net);
+  EXPECT_EQ(census.dead_link_count(), net.count_dead_links());
+  EXPECT_EQ(census.cross_partition_link_count(), 0u);  // no partitions
+}
+
+TEST(GraphCensus, CrossPartitionTallyIsBitEqualToNetworkCount) {
+  sim::Network net = make_converged(ProtocolSpec::newscast(), 500, 20);
+  // Split the converged overlay down the middle: cross-group view entries
+  // are exactly the pre-split links between halves.
+  for (NodeId id = 0; id < net.size(); ++id) {
+    net.set_partition_group(id, id % 2);
+  }
+  obs::GraphCensus census;
+  census.rebuild(net);
+  EXPECT_GT(census.cross_partition_link_count(), 0u);
+  EXPECT_EQ(census.cross_partition_link_count(),
+            net.count_cross_partition_links());
+
+  // Kill some nodes: dead targets leave the cross tally (they are dead
+  // links now) — both counters must track the reclassification identically.
+  net.kill_random(120, net.rng());
+  census.rebuild(net);
+  EXPECT_EQ(census.dead_link_count(), net.count_dead_links());
+  EXPECT_EQ(census.cross_partition_link_count(),
+            net.count_cross_partition_links());
+
+  // Gossip within the split, then heal it: the cross tally must collapse
+  // to zero through the same code path that computed it.
+  sim::CycleEngine engine(net);
+  engine.run(5);
+  census.rebuild(net);
+  EXPECT_EQ(census.dead_link_count(), net.count_dead_links());
+  EXPECT_EQ(census.cross_partition_link_count(),
+            net.count_cross_partition_links());
+  net.clear_partitions();
+  census.rebuild(net);
+  EXPECT_EQ(census.cross_partition_link_count(), 0u);
+  EXPECT_EQ(census.cross_partition_link_count(),
+            net.count_cross_partition_links());
+}
+
 TEST(GraphCensus, SampledClusteringReproducesExactModuleDrawForDraw) {
   sim::Network net = make_converged(ProtocolSpec::newscast(), 800, 25);
   obs::GraphCensus census;
