@@ -1,0 +1,119 @@
+// A peer sampling daemon: one OS process, one UDP socket, one ServiceNode.
+//
+// Each daemon owns node id --id out of --nodes processes, listens on
+// 127.0.0.1:(--port-base + id), bootstraps its view from every other id,
+// and then runs the middleware loop for --cycles rounds: tick the active
+// thread once per --period-ms, draining the socket in between. `now` is
+// passed to the stack in cycle units, so reply timeouts span half a round
+// regardless of wall-clock pacing.
+//
+//   $ ./udp_gossip_daemon --id=1 --nodes=5 --port-base=17000 --cycles=15
+//
+// Exits 0 only if the session actually gossiped (requests answered and
+// replies delivered) — scripts/udp_smoke.sh and CI gate on that.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/transport/service_node.hpp"
+#include "pss/transport/udp_transport.hpp"
+
+namespace {
+
+std::int64_t arg_int(int argc, char** argv, const std::string& key,
+                     std::int64_t fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      try {
+        return std::stoll(arg.substr(prefix.size()));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pss;
+
+  const auto id = static_cast<NodeId>(arg_int(argc, argv, "id", 0));
+  const auto n = static_cast<std::size_t>(arg_int(argc, argv, "nodes", 5));
+  const auto port_base =
+      static_cast<std::uint16_t>(arg_int(argc, argv, "port-base", 17000));
+  const auto cycles =
+      static_cast<std::size_t>(arg_int(argc, argv, "cycles", 15));
+  const auto period_ms = arg_int(argc, argv, "period-ms", 40);
+  const auto seed = static_cast<std::uint64_t>(arg_int(argc, argv, "seed", 42));
+  const auto c = static_cast<std::size_t>(arg_int(argc, argv, "c", 8));
+  if (id >= n) {
+    std::fprintf(stderr, "--id=%u must be < --nodes=%zu\n", id, n);
+    return 2;
+  }
+
+  const ProtocolOptions options{c, false};
+  const transport::UdpAddressBook book =
+      transport::UdpAddressBook::local_range(port_base, n, n);
+  const transport::WireCodec codec(options.view_size);
+  transport::UdpTransport socket(book, id, codec.max_frame_bytes());
+  transport::ServiceNode node(id, ProtocolSpec::newscast(), options,
+                              Rng(seed + id), socket);
+
+  std::vector<NodeId> contacts;
+  for (NodeId peer = 0; peer < n; ++peer) {
+    if (peer != id) contacts.push_back(peer);
+  }
+  node.init(contacts);
+
+  const auto period = std::chrono::milliseconds(period_ms);
+  const auto poll_slice = period / 8;
+  auto on_datagram = [&](double now) {
+    return [&node, now](NodeId, std::span<const std::byte> bytes) {
+      node.on_datagram(bytes, now);
+    };
+  };
+  for (std::size_t cycle = 1; cycle <= cycles; ++cycle) {
+    const double now = static_cast<double>(cycle);
+    node.on_tick(now);
+    const auto deadline = std::chrono::steady_clock::now() + period;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (socket.poll(on_datagram(now)) == 0) {
+        std::this_thread::sleep_for(poll_slice);
+      }
+    }
+  }
+  // One grace round so late replies from slower peers still land.
+  const double end = static_cast<double>(cycles);
+  for (int pass = 0; pass < 8; ++pass) {
+    if (socket.poll(on_datagram(end)) == 0) {
+      std::this_thread::sleep_for(poll_slice);
+    }
+  }
+
+  const transport::ServiceNodeStats& s = node.stats();
+  std::printf(
+      "daemon %u: ticks=%llu requests=%llu replies=%llu stale=%llu "
+      "rejected=%llu view=%zu\n",
+      id, static_cast<unsigned long long>(s.wakeups),
+      static_cast<unsigned long long>(s.requests_sent),
+      static_cast<unsigned long long>(s.replies_delivered),
+      static_cast<unsigned long long>(s.replies_stale),
+      static_cast<unsigned long long>(s.frames_rejected),
+      node.view().size());
+  const bool gossiped = s.requests_sent > 0 && s.replies_delivered > 0 &&
+                        !node.view().empty();
+  if (!gossiped) {
+    std::fprintf(stderr, "daemon %u: no gossip happened\n", id);
+    return 1;
+  }
+  return 0;
+}

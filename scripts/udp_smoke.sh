@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# End-to-end UDP gossip session smoke: 4 daemons + 1 client on localhost.
+#
+# Usage: scripts/udp_smoke.sh <build-examples-dir> [port-base]
+#
+# Every process must exit 0 — the daemons assert they actually exchanged
+# views, the client asserts the PeerSamplingService produced samples. CI
+# runs this after the tier-1 build.
+set -u
+
+EXAMPLES_DIR=${1:?usage: udp_smoke.sh <build-examples-dir> [port-base]}
+PORT_BASE=${2:-$((17000 + RANDOM % 2000))}
+NODES=5
+CYCLES=15
+PERIOD_MS=40
+
+echo "udp_smoke: port-base=${PORT_BASE} nodes=${NODES} cycles=${CYCLES}"
+
+pids=()
+for id in 1 2 3 4; do
+  "${EXAMPLES_DIR}/udp_gossip_daemon" \
+    --id="${id}" --nodes="${NODES}" --port-base="${PORT_BASE}" \
+    --cycles="${CYCLES}" --period-ms="${PERIOD_MS}" &
+  pids+=($!)
+done
+
+"${EXAMPLES_DIR}/udp_gossip_client" \
+  --id=0 --nodes="${NODES}" --port-base="${PORT_BASE}" \
+  --cycles="${CYCLES}" --period-ms="${PERIOD_MS}" &
+pids+=($!)
+
+status=0
+for pid in "${pids[@]}"; do
+  if ! wait "${pid}"; then
+    status=1
+  fi
+done
+
+if [ "${status}" -ne 0 ]; then
+  echo "udp_smoke: FAILED" >&2
+  exit 1
+fi
+echo "udp_smoke: ok"

@@ -75,13 +75,9 @@ void EventEngine::send_request(NodeId from, NodeId to,
 }
 
 void EventEngine::expire_pending(NodeId node) {
-  Pending& p = pending_[node];
-  if (p.active && p.deadline < now_) {
-    // The pull reply never arrived in time: treat as a failed contact.
-    flat::contact_failure(network_->arena(), node, p.peer,
-                          network_->options());
-    p.active = false;
-  }
+  // The pull reply never arrived in time: treat as a failed contact.
+  expire_overdue(network_->arena(), node, pending_[node], now_,
+                 network_->options());
 }
 
 void EventEngine::on_wakeup(NodeId id) {
@@ -107,8 +103,10 @@ void EventEngine::on_wakeup(NodeId id) {
   const std::uint64_t exchange_id = next_exchange_++;
   if (network_->spec().pull()) {
     // Starting a new exchange supersedes any outstanding one.
-    if (pending_[id].active) ++stats_.replies_stale;
-    pending_[id] = {exchange_id, *peer, now_ + config_.reply_timeout, true};
+    if (open_exchange(pending_[id], exchange_id, *peer,
+                      now_ + config_.reply_timeout)) {
+      ++stats_.replies_stale;
+    }
   }
   send_request(id, *peer, exchange_id);
 }
@@ -165,13 +163,11 @@ void EventEngine::on_reply(const FlatEvent& e) {
     pool_.release(e.slab);
     return;
   }
-  Pending& p = pending_[e.to];
-  if (!p.active || p.exchange_id != e.exchange_id || p.deadline < now_) {
+  if (!admit_reply(pending_[e.to], e.exchange_id, now_)) {
     ++stats_.replies_stale;
     pool_.release(e.slab);
     return;
   }
-  p.active = false;
   flat::handle_reply(network_->arena(), e.to, pool_.data(e.slab),
                      pool_.size(e.slab), network_->spec(),
                      network_->options(), scratch_);

@@ -43,6 +43,7 @@
 #include "pss/membership/flat_ops.hpp"
 #include "pss/sim/calendar_queue.hpp"
 #include "pss/sim/cycle_step.hpp"
+#include "pss/sim/exchange_apply.hpp"
 #include "pss/sim/network.hpp"
 #include "pss/sim/probe.hpp"
 
@@ -126,7 +127,7 @@ class EventEngine {
   /// resident_bytes().
   std::size_t resident_bytes() const {
     return queue_.storage_bytes() + pool_.storage_bytes() +
-           pending_.capacity() * sizeof(Pending);
+           pending_.capacity() * sizeof(PendingExchange);
   }
 
  private:
@@ -139,15 +140,6 @@ class EventEngine {
     DescriptorSlabPool::SlabId slab = DescriptorSlabPool::kNoSlab;
     std::uint32_t kind = 0;
     std::uint64_t exchange_id = 0;  ///< matches replies to requests
-  };
-
-  /// Per-node pull bookkeeping: which exchange is outstanding, with whom,
-  /// and until when the reply is acceptable.
-  struct Pending {
-    std::uint64_t exchange_id = 0;
-    NodeId peer = kInvalidNode;
-    double deadline = -1.0;
-    bool active = false;
   };
 
   void advance_to(double until);
@@ -173,7 +165,10 @@ class EventEngine {
   std::uint64_t next_exchange_ = 1;
   CalendarQueue<FlatEvent> queue_;
   DescriptorSlabPool pool_;
-  std::vector<Pending> pending_;
+  // Pull bookkeeping shared with the transport-layer ServiceNode (see
+  // exchange_apply.hpp): both drivers admit/expire replies through the
+  // same helpers, which the transport differential suite pins.
+  std::vector<PendingExchange> pending_;
   flat::Scratch scratch_;            ///< exchange working memory, reused
   std::size_t scheduled_nodes_ = 0;  ///< nodes whose wake-up loop is running
   double tick_anchor_ = 0;           ///< last explicit run_until target

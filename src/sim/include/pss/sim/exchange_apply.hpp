@@ -1,0 +1,71 @@
+#pragma once
+
+// Pull-exchange bookkeeping shared by every driver of the flat_exchange
+// kernels — the in-process EventEngine and the transport-layer ServiceNode
+// (src/transport/). A pulling node keeps ONE outstanding exchange; these
+// helpers encode the engine's admission discipline so the two drivers
+// cannot drift apart:
+//
+//   * a reply is accepted only if it matches the outstanding exchange id
+//     and arrives within its deadline;
+//   * starting a new exchange supersedes any outstanding one (the old
+//     reply, should it still arrive, is stale);
+//   * an exchange whose deadline passed before the next wake-up surfaces
+//     as a contact failure against the chosen peer.
+//
+// The differential suite (tests/transport_test.cpp) and the trace-
+// equivalence suite (tests/event_engine_flat_test.cpp) pin that both
+// drivers produce identical per-node state through these helpers.
+
+#include <cstdint>
+
+#include "pss/common/types.hpp"
+#include "pss/protocol/flat_exchange.hpp"
+#include "pss/protocol/node_arena.hpp"
+#include "pss/protocol/spec.hpp"
+
+namespace pss::sim {
+
+/// Per-node pull bookkeeping: which exchange is outstanding, with whom,
+/// and until when the reply is acceptable.
+struct PendingExchange {
+  std::uint64_t exchange_id = 0;
+  NodeId peer = kInvalidNode;
+  double deadline = -1.0;
+  bool active = false;
+};
+
+/// Wake-up preamble: an outstanding pull whose reply window closed is a
+/// failed contact (the peer never answered in time).
+inline void expire_overdue(flat::NodeArena& arena, NodeId slot,
+                           PendingExchange& pending, double now,
+                           const ProtocolOptions& options) {
+  if (pending.active && pending.deadline < now) {
+    flat::contact_failure(arena, slot, pending.peer, options);
+    pending.active = false;
+  }
+}
+
+/// Records a freshly initiated pull exchange. Returns true when an
+/// outstanding exchange was superseded (callers count a stale reply).
+inline bool open_exchange(PendingExchange& pending, std::uint64_t exchange_id,
+                          NodeId peer, double deadline) {
+  const bool superseded = pending.active;
+  pending = {exchange_id, peer, deadline, true};
+  return superseded;
+}
+
+/// Reply admission: true exactly when an arriving reply should be absorbed
+/// (matching id, within deadline); clears the pending slot on acceptance.
+/// False means the reply is stale — late, superseded, or never asked for.
+inline bool admit_reply(PendingExchange& pending, std::uint64_t exchange_id,
+                        double now) {
+  if (!pending.active || pending.exchange_id != exchange_id ||
+      pending.deadline < now) {
+    return false;
+  }
+  pending.active = false;
+  return true;
+}
+
+}  // namespace pss::sim

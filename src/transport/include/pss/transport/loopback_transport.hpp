@@ -1,0 +1,113 @@
+#pragma once
+
+// Deterministic in-process Transport backend.
+//
+// Frames are buffered in a (deliver_at, seq) min-ordered queue; seq is a
+// monotone counter that makes the order a strict total order, exactly the
+// tie-break discipline of EventEngine's calendar queue. The differential
+// tests lean on a stronger property: LoopbackTransport draws its fault
+// decisions from the SAME master Rng, in the SAME per-message pattern, as
+// EventEngine's send path —
+//
+//     chance(loss_probability)            (no draw consumed at p = 0)
+//     min_delay + uniform() * (max_delay - min_delay)
+//
+// — so a LoopbackDriver run over this backend consumes master-stream draws
+// value-for-value like an EventEngine run of the same seed, and the two
+// finish digest-identical even under nonzero latency and loss. The
+// reorder / duplication knobs have no EventEngine counterpart and consume
+// extra draws, so they are only exercised by the invariant tests.
+//
+// allocate_seq() is exposed so a driver can thread its own timer events
+// through the same counter, recreating the event engine's single totally-
+// ordered event stream across two queues.
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "pss/common/rng.hpp"
+#include "pss/common/types.hpp"
+#include "pss/transport/transport.hpp"
+
+namespace pss::transport {
+
+struct LoopbackConfig {
+  double min_delay = 0.0;
+  double max_delay = 0.0;
+  double loss_probability = 0.0;
+  // With probability `reorder_probability`, a frame's delay is stretched by
+  // uniform() * reorder_jitter, letting later sends overtake it.
+  double reorder_probability = 0.0;
+  double reorder_jitter = 0.0;
+  // With probability `duplicate_probability`, a second copy is enqueued
+  // with an independently drawn delay.
+  double duplicate_probability = 0.0;
+};
+
+struct LoopbackStats {
+  std::uint64_t frames_sent = 0;        // send() calls accepted
+  std::uint64_t frames_dropped = 0;     // lost to the loss knob
+  std::uint64_t frames_duplicated = 0;  // extra copies enqueued
+  std::uint64_t frames_delivered = 0;   // handler invocations
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  // `rng` must outlive the transport. Pass the simulation's master Rng to
+  // share its draw stream with an EventEngine reference run.
+  LoopbackTransport(LoopbackConfig config, Rng& rng);
+
+  bool send(NodeId to, std::span<const std::byte> frame) override;
+
+  // Delivers every frame with deliver_at <= now(), earliest (at, seq) first.
+  std::size_t poll(const FrameHandler& handler) override;
+
+  // Delivers exactly the earliest due frame; false when none is due.
+  bool poll_one(const FrameHandler& handler);
+
+  // (deliver_at, seq) of the earliest queued frame, nullopt when empty.
+  std::optional<std::pair<double, std::uint64_t>> next_event() const;
+
+  void set_now(double now) { now_ = now; }
+  double now() const { return now_; }
+
+  std::uint64_t allocate_seq() { return next_seq_++; }
+
+  const LoopbackStats& stats() const { return stats_; }
+  std::size_t in_flight() const { return queue_.size(); }
+
+ private:
+  struct InFlight {
+    double at = 0.0;
+    std::uint64_t seq = 0;
+    NodeId to = kInvalidNode;
+    std::uint32_t buffer = 0;  // index into buffers_
+  };
+  struct LaterFirst {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void enqueue(NodeId to, std::span<const std::byte> frame, double delay);
+  void deliver_head(const FrameHandler& handler);
+
+  LoopbackConfig config_;
+  Rng* rng_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  LoopbackStats stats_;
+  std::priority_queue<InFlight, std::vector<InFlight>, LaterFirst> queue_;
+  // Recycled payload buffers, indexed by InFlight::buffer: steady-state
+  // operation allocates nothing once the pool has grown to the high-water
+  // in-flight count.
+  std::vector<std::vector<std::byte>> buffers_;
+  std::vector<std::uint32_t> free_buffers_;
+};
+
+}  // namespace pss::transport

@@ -1,0 +1,83 @@
+#pragma once
+
+// Nonblocking UDP datagram backend over localhost — the deployment path.
+//
+// One UdpTransport wraps one bound socket; the address book maps NodeId to
+// (ip, port), so a socket can host any number of logical nodes (frames are
+// demuxed by the wire header's to-field, which poll() peeks without full
+// validation). Gossip frames fit well inside one datagram (28 + 8*(c+1)
+// bytes, e.g. 276 bytes at the paper's c = 30), so frame == datagram and
+// no reassembly exists.
+//
+// Loss realism comes for free: a full kernel buffer drops datagrams
+// exactly like the simulation's drop_probability, and the protocol is
+// built to tolerate it (paper Section 4.4). send() therefore treats
+// EWOULDBLOCK/ECONNREFUSED as a counted best-effort loss, not an error.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pss/common/types.hpp"
+#include "pss/transport/transport.hpp"
+
+namespace pss::transport {
+
+/// NodeId -> UDP endpoint map. Endpoints are IPv4 localhost by default;
+/// node ids index a dense vector (the repo's NodeIds are dense slots).
+class UdpAddressBook {
+ public:
+  /// n nodes on 127.0.0.1, node i at base_port + (i % sockets). With
+  /// sockets == n every node owns a port (one process per node, the
+  /// examples); with fewer, ports are shared and frames demux by header
+  /// (the bench's many-nodes-per-socket mode).
+  static UdpAddressBook local_range(std::uint16_t base_port, std::size_t n,
+                                    std::size_t sockets = 0);
+
+  void set(NodeId id, const std::string& ip, std::uint16_t port);
+  bool contains(NodeId id) const;
+  std::uint32_t ip(NodeId id) const;    ///< network byte order
+  std::uint16_t port(NodeId id) const;  ///< host byte order
+  std::size_t size() const { return ports_.size(); }
+
+ private:
+  std::vector<std::uint32_t> ips_;     ///< network byte order, 0 = unset
+  std::vector<std::uint16_t> ports_;   ///< host byte order, 0 = unset
+};
+
+struct UdpStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t send_failures = 0;      ///< EWOULDBLOCK etc: best-effort loss
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t oversized_dropped = 0;  ///< datagram larger than any frame
+};
+
+class UdpTransport final : public Transport {
+ public:
+  /// Binds the endpoint the book assigns to `host_node` (every node the
+  /// socket hosts must map to the same port). `max_frame_bytes` bounds the
+  /// receive buffer — pass WireCodec::max_frame_bytes().
+  UdpTransport(const UdpAddressBook& book, NodeId host_node,
+               std::size_t max_frame_bytes);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  bool send(NodeId to, std::span<const std::byte> frame) override;
+
+  /// Drains every datagram currently readable (until EWOULDBLOCK).
+  std::size_t poll(const FrameHandler& handler) override;
+
+  const UdpStats& stats() const { return stats_; }
+  std::uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  const UdpAddressBook* book_;
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  UdpStats stats_;
+  std::vector<std::byte> recv_buffer_;
+};
+
+}  // namespace pss::transport

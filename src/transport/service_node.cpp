@@ -1,0 +1,160 @@
+#include "pss/transport/service_node.hpp"
+
+#include <algorithm>
+
+#include "pss/common/check.hpp"
+#include "pss/membership/view.hpp"
+
+namespace pss::transport {
+
+ServiceNode::ServiceNode(flat::NodeArena& arena, NodeId slot, NodeId self,
+                         ProtocolSpec spec, ProtocolOptions options,
+                         Transport& transport, ServiceNodeConfig config)
+    : arena_(&arena),
+      slot_(slot),
+      self_(self),
+      spec_(spec),
+      options_(options),
+      config_(config),
+      transport_(&transport),
+      codec_(options.view_size),
+      gossip_node_(self, spec, options, &arena, slot) {
+  PSS_CHECK_MSG(slot < arena.node_count(), "ServiceNode: slot out of range");
+  PSS_CHECK_MSG(config.period > 0 && config.reply_timeout > 0,
+                "ServiceNode: period and reply_timeout must be positive");
+  buffer_.resize(options_.view_size + 1);
+  reply_buffer_.resize(options_.view_size + 1);
+  bytes_.reserve(codec_.max_frame_bytes());
+}
+
+ServiceNode::ServiceNode(NodeId self, ProtocolSpec spec,
+                         ProtocolOptions options, Rng rng, Transport& transport,
+                         ServiceNodeConfig config)
+    : owned_(std::make_unique<flat::NodeArena>(options.view_size)),
+      arena_(owned_.get()),
+      slot_(owned_->add_node(rng)),
+      self_(self),
+      spec_(spec),
+      options_(options),
+      config_(config),
+      transport_(&transport),
+      codec_(options.view_size),
+      gossip_node_(self, spec, options, owned_.get(), slot_) {
+  PSS_CHECK_MSG(config.period > 0 && config.reply_timeout > 0,
+                "ServiceNode: period and reply_timeout must be positive");
+  buffer_.resize(options_.view_size + 1);
+  reply_buffer_.resize(options_.view_size + 1);
+  bytes_.reserve(codec_.max_frame_bytes());
+}
+
+void ServiceNode::init(std::span<const NodeId> contacts) {
+  std::vector<NodeDescriptor> boot;
+  boot.reserve(contacts.size());
+  for (NodeId c : contacts) boot.push_back(NodeDescriptor{c, 0});
+  gossip_node_.init_view(View(std::move(boot)));
+}
+
+void ServiceNode::on_tick(double now) {
+  ++stats_.wakeups;
+  ++tick_;
+  // Statement-level mirror of EventEngine::on_wakeup (minus the timer
+  // rearm, which belongs to the caller's event loop): expire the overdue
+  // pull, age once per period, select, then emit.
+  sim::expire_overdue(*arena_, slot_, pending_, now, options_);
+  arena_->views.age(slot_);
+  auto peer = flat::select_peer(arena_->views.view_of(slot_),
+                                spec_.peer_selection, arena_->rngs[slot_]);
+  if (!peer) return;
+  ++arena_->stats[slot_].initiated;
+
+  const std::uint64_t exchange_id = next_exchange_++;
+  if (spec_.pull()) {
+    if (sim::open_exchange(pending_, exchange_id, *peer,
+                           now + config_.reply_timeout)) {
+      ++stats_.replies_stale;
+    }
+  }
+  send_request(*peer, exchange_id);
+}
+
+void ServiceNode::send_request(NodeId peer, std::uint64_t exchange_id) {
+  const std::uint32_t n = flat::write_active_buffer(
+      arena_->views.view_of(slot_), self_, spec_.push(), buffer_.data());
+  WireFrame frame;
+  frame.type = FrameType::kRequest;
+  frame.spec = spec_;
+  frame.from = self_;
+  frame.to = peer;
+  frame.tick = tick_;
+  frame.exchange_id = exchange_id;
+  frame.entries = flat::DescSpan(buffer_.data(), n);
+  codec_.encode(frame, bytes_);
+  ++stats_.requests_sent;
+  transport_->send(peer, bytes_);
+}
+
+void ServiceNode::on_frame(const ParsedFrame& frame, double now) {
+  if (frame.to != self_) {
+    ++stats_.misaddressed;
+    return;
+  }
+  if (frame.spec != spec_) {
+    ++stats_.protocol_mismatches;
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::kRequest: handle_request_frame(frame); break;
+    case FrameType::kReply: handle_reply_frame(frame, now); break;
+  }
+}
+
+WireError ServiceNode::on_datagram(std::span<const std::byte> bytes,
+                                   double now) {
+  ParsedFrame frame;
+  const WireError err = codec_.decode(bytes, frame);
+  if (err != WireError::kOk) {
+    ++stats_.frames_rejected;
+    return err;
+  }
+  on_frame(frame, now);
+  return WireError::kOk;
+}
+
+void ServiceNode::handle_request_frame(const ParsedFrame& frame) {
+  // flat::handle_request with the slot/self split (the kernels' passive
+  // half assumes slot == self; a standalone daemon's slot is 0): counters,
+  // pre-merge reply build and in-merge aging in the exact kernel order.
+  ++arena_->stats[slot_].received;
+  std::uint32_t reply_size = 0;
+  if (spec_.pull()) {
+    reply_size = flat::write_active_buffer(arena_->views.view_of(slot_), self_,
+                                           /*push=*/true, reply_buffer_.data());
+    ++arena_->stats[slot_].replies_sent;
+  }
+  flat::absorb(arena_->views, slot_, self_, spec_, options_, frame.entries,
+               arena_->rngs[slot_], scratch_, /*age_incoming=*/1);
+  if (spec_.pull()) {
+    WireFrame reply;
+    reply.type = FrameType::kReply;
+    reply.spec = spec_;
+    reply.from = self_;
+    reply.to = frame.from;
+    reply.tick = tick_;
+    reply.exchange_id = frame.exchange_id;
+    reply.entries = flat::DescSpan(reply_buffer_.data(), reply_size);
+    codec_.encode(reply, bytes_);
+    transport_->send(frame.from, bytes_);
+  }
+}
+
+void ServiceNode::handle_reply_frame(const ParsedFrame& frame, double now) {
+  if (!sim::admit_reply(pending_, frame.exchange_id, now)) {
+    ++stats_.replies_stale;
+    return;
+  }
+  flat::absorb(arena_->views, slot_, self_, spec_, options_, frame.entries,
+               arena_->rngs[slot_], scratch_, /*age_incoming=*/1);
+  ++stats_.replies_delivered;
+}
+
+}  // namespace pss::transport

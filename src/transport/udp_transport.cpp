@@ -1,0 +1,142 @@
+#include "pss/transport/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pss/common/check.hpp"
+#include "pss/transport/wire.hpp"
+
+namespace pss::transport {
+
+UdpAddressBook UdpAddressBook::local_range(std::uint16_t base_port,
+                                           std::size_t n,
+                                           std::size_t sockets) {
+  if (sockets == 0 || sockets > n) sockets = n;
+  UdpAddressBook book;
+  for (std::size_t i = 0; i < n; ++i) {
+    book.set(static_cast<NodeId>(i), "127.0.0.1",
+             static_cast<std::uint16_t>(base_port + (i % sockets)));
+  }
+  return book;
+}
+
+void UdpAddressBook::set(NodeId id, const std::string& ip,
+                         std::uint16_t port) {
+  PSS_CHECK_MSG(port != 0, "UdpAddressBook: port 0 is reserved for unset");
+  if (id >= ports_.size()) {
+    ips_.resize(id + 1, 0);
+    ports_.resize(id + 1, 0);
+  }
+  in_addr addr{};
+  PSS_CHECK_MSG(inet_pton(AF_INET, ip.c_str(), &addr) == 1,
+                "UdpAddressBook: bad IPv4 address");
+  ips_[id] = addr.s_addr;
+  ports_[id] = port;
+}
+
+bool UdpAddressBook::contains(NodeId id) const {
+  return id < ports_.size() && ports_[id] != 0;
+}
+
+std::uint32_t UdpAddressBook::ip(NodeId id) const { return ips_[id]; }
+
+std::uint16_t UdpAddressBook::port(NodeId id) const { return ports_[id]; }
+
+UdpTransport::UdpTransport(const UdpAddressBook& book, NodeId host_node,
+                           std::size_t max_frame_bytes)
+    : book_(&book) {
+  PSS_CHECK_MSG(book.contains(host_node),
+                "UdpTransport: host node not in the address book");
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  PSS_CHECK_MSG(fd_ >= 0, "UdpTransport: socket() failed");
+
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  PSS_CHECK_MSG(flags >= 0 && ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0,
+                "UdpTransport: O_NONBLOCK failed");
+  int reuse = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  // Gossip bursts (every hosted node ticking in one loop pass) overflow
+  // the default receive buffer long before the network is the bottleneck;
+  // a bigger buffer is best-effort, capped by the kernel's rmem_max.
+  int rcvbuf = 1 << 21;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = book.ip(host_node);
+  addr.sin_port = htons(book.port(host_node));
+  PSS_CHECK_MSG(::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "UdpTransport: bind() failed (port in use?)");
+  bound_port_ = book.port(host_node);
+  // One extra byte distinguishes "exactly max frame" from "too long"
+  // under MSG_TRUNC-less fallback reads.
+  recv_buffer_.resize(max_frame_bytes + 1);
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool UdpTransport::send(NodeId to, std::span<const std::byte> frame) {
+  if (!book_->contains(to)) {
+    ++stats_.send_failures;
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = book_->ip(to);
+  addr.sin_port = htons(book_->port(to));
+  const ssize_t n =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n != static_cast<ssize_t>(frame.size())) {
+    ++stats_.send_failures;  // kernel buffer full etc — best-effort loss
+    return false;
+  }
+  ++stats_.datagrams_sent;
+  return true;
+}
+
+std::size_t UdpTransport::poll(const FrameHandler& handler) {
+  std::size_t delivered = 0;
+  for (;;) {
+    const ssize_t n =
+        ::recvfrom(fd_, recv_buffer_.data(), recv_buffer_.size(), 0, nullptr,
+                   nullptr);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A queued ICMP error (peer not yet bound) is consumed by this read;
+      // keep draining. Anything else ends the poll pass.
+      if (errno == ECONNREFUSED) continue;
+      break;
+    }
+    ++stats_.datagrams_received;
+    if (static_cast<std::size_t>(n) >= recv_buffer_.size()) {
+      ++stats_.oversized_dropped;  // cannot be a legal frame; possibly cut off
+      continue;
+    }
+    const std::span<const std::byte> bytes(recv_buffer_.data(),
+                                           static_cast<std::size_t>(n));
+    // Peek the destination for demux; full validation happens in WireCodec
+    // downstream.
+    NodeId to = kInvalidNode;
+    if (bytes.size() >= WireCodec::kHeaderBytes) {
+      to = std::to_integer<std::uint32_t>(bytes[12]) |
+           (std::to_integer<std::uint32_t>(bytes[13]) << 8) |
+           (std::to_integer<std::uint32_t>(bytes[14]) << 16) |
+           (std::to_integer<std::uint32_t>(bytes[15]) << 24);
+    }
+    handler(to, bytes);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace pss::transport
