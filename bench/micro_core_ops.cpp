@@ -12,7 +12,9 @@
 #include "pss/graph/metrics.hpp"
 #include "pss/graph/undirected_graph.hpp"
 #include "pss/membership/flat_ops.hpp"
+#include "pss/membership/simd.hpp"
 #include "pss/membership/view.hpp"
+#include "pss/protocol/flat_exchange.hpp"
 #include "pss/protocol/gossip_node.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/calendar_queue.hpp"
@@ -76,7 +78,11 @@ BENCHMARK(BM_PushPullExchange);
 void BM_FlatMergeSelectHead(benchmark::State& state) {
   // The fused streaming kernel behind every (.,head,.) absorb — compare
   // with BM_ViewMerge + BM_ViewSelectHeadUnbiased, which together are the
-  // object-graph algebra it replaces.
+  // object-graph algebra it replaces. Arg is the SIMD tier: 0 = scalar
+  // oracle, 1 = the CPU's detected tier (same code the engines dispatch
+  // to), so the pair reads as the vectorization speedup of the kernel.
+  simd::set_level_for_testing(state.range(0) == 0 ? simd::Level::kScalar
+                                                  : simd::detected_level());
   const View a = make_view(31, 11);
   const View b = make_view(30, 12);
   Rng rng(13);
@@ -87,8 +93,86 @@ void BM_FlatMergeSelectHead(benchmark::State& state) {
                             /*age_a=*/1);
     benchmark::DoNotOptimize(out.data());
   }
+  simd::set_level_for_testing(simd::detected_level());
 }
-BENCHMARK(BM_FlatMergeSelectHead);
+BENCHMARK(BM_FlatMergeSelectHead)->Arg(0)->Arg(1);
+
+// --- Scalar vs SIMD on the event-engine absorb kernels ----------------------
+// The slab-based request/reply handlers ParallelEventEngine's W-parts run,
+// on realistic converged inputs: Arg 0 pins the scalar reference, Arg 1
+// dispatches the detected tier. FlatViewStore state is re-assigned each
+// iteration so every absorb sees the same input (the kernel mutates the
+// slot), which prices the kernel itself, not a drifting view.
+
+void BM_FlatHandleRequest(benchmark::State& state) {
+  simd::set_level_for_testing(state.range(0) == 0 ? simd::Level::kScalar
+                                                  : simd::detected_level());
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{30, false}, 1000, 42);
+  sim::CycleEngine warm(net);
+  warm.run(5);
+  auto& arena = net.arena();
+  // A converged active buffer: node 1's view plus itself.
+  std::vector<NodeDescriptor> request(31);
+  const std::uint32_t req_n = flat::write_active_buffer(
+      net.view_span(1), 1, true, request.data());
+  std::vector<NodeDescriptor> reply(31);
+  std::vector<NodeDescriptor> snapshot(net.view_span(0).begin(),
+                                       net.view_span(0).end());
+  flat::Scratch scratch;
+  for (auto _ : state) {
+    arena.views.assign(0, snapshot);
+    benchmark::DoNotOptimize(flat::handle_request(arena, 0, request.data(),
+                                                  req_n, reply.data(),
+                                                  net.spec(), net.options(),
+                                                  scratch));
+  }
+  simd::set_level_for_testing(simd::detected_level());
+}
+BENCHMARK(BM_FlatHandleRequest)->Arg(0)->Arg(1);
+
+void BM_FlatHandleReply(benchmark::State& state) {
+  simd::set_level_for_testing(state.range(0) == 0 ? simd::Level::kScalar
+                                                  : simd::detected_level());
+  auto net = sim::bootstrap::make_random(ProtocolSpec::newscast(),
+                                         ProtocolOptions{30, false}, 1000, 42);
+  sim::CycleEngine warm(net);
+  warm.run(5);
+  auto& arena = net.arena();
+  std::vector<NodeDescriptor> reply(31);
+  const std::uint32_t reply_n = flat::write_active_buffer(
+      net.view_span(1), 1, true, reply.data());
+  std::vector<NodeDescriptor> snapshot(net.view_span(0).begin(),
+                                       net.view_span(0).end());
+  flat::Scratch scratch;
+  for (auto _ : state) {
+    arena.views.assign(0, snapshot);
+    flat::handle_reply(arena, 0, reply.data(), reply_n, net.spec(),
+                       net.options(), scratch);
+    benchmark::DoNotOptimize(arena.views.view_of(0).data());
+  }
+  simd::set_level_for_testing(simd::detected_level());
+}
+BENCHMARK(BM_FlatHandleReply)->Arg(0)->Arg(1);
+
+void BM_SimdAgeWriteBoth(benchmark::State& state) {
+  // The fused wakeup kernel (age slot in place + stream aged copy): Arg 0
+  // scalar, Arg 1 detected tier.
+  simd::set_level_for_testing(state.range(0) == 0 ? simd::Level::kScalar
+                                                  : simd::detected_level());
+  std::vector<NodeDescriptor> view(30), out(30);
+  Rng rng(21);
+  for (auto& d : view) {
+    d = {static_cast<NodeId>(rng.below(1000)),
+         static_cast<HopCount>(rng.below(8))};
+  }
+  for (auto _ : state) {
+    simd::age_write_both(view.data(), out.data(), view.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  simd::set_level_for_testing(simd::detected_level());
+}
+BENCHMARK(BM_SimdAgeWriteBoth)->Arg(0)->Arg(1);
 
 // --- Scheduler: calendar queue vs. binary heap -----------------------------
 // The classic "hold" model at event-engine scale: a pending set of `n`

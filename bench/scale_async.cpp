@@ -1,31 +1,45 @@
-// Scale driver for the flat asynchronous engine: events/second, memory and
-// steady-state allocation behavior at N ∈ {10^4, 10^5, 10^6}, plus the
-// recorded speedup over the frozen LegacyEventEngine baseline.
+// Scale driver for the flat asynchronous engines: events/second, memory and
+// steady-state allocation behavior at N ∈ {10^4, 10^5, 10^6}, swept over a
+// thread ladder × {scalar, simd} kernel matrix, plus the recorded speedup
+// over the frozen LegacyEventEngine baseline.
 //
 // This is the async counterpart of scale_million_nodes: the same Newscast
 // instance and random bootstrap, but driven through the discrete-event
 // message layer (per-message latency, drop probability, reply timeouts)
-// instead of atomic cycles. Each run warms the engine for a few periods —
-// letting the calendar queue, message pool and scratch buffers reach their
-// high-water marks — then measures a timed window, counting every global
-// operator new/delete in between: the recorded `steady_allocations` is the
-// engine's whole-process allocation count during the measured window, and
-// the flat engine's async hot path is allocation-free in steady state.
+// instead of atomic cycles. Each cell of the matrix runs the identical
+// scenario from a fresh bootstrap: the sequential EventEngine (threads = 0
+// in the output) and the ParallelEventEngine at each ladder entry, under
+// the scalar kernels and under the best SIMD tier the CPU reports. Each
+// run warms the engine for a few periods — letting the calendar queue,
+// message pool and scratch buffers reach their high-water marks — then
+// measures a timed window, counting every global operator new/delete in
+// between: the recorded `steady_allocations` is the engine's whole-process
+// allocation count during the measured window.
+//
+// Digest gate: every cell must end in the bit-identical network state —
+// the FNV state digest (views, liveness, per-node stats, Rng probes) of
+// each run is compared against the scalar sequential reference, and any
+// divergence across thread counts or kernel tiers makes the driver exit
+// non-zero ("digest_ok": false). This is the ParallelEventEngine
+// Deterministic contract and the SIMD dispatch contract enforced at the
+// scale the test suite cannot reach.
 //
 // The legacy baseline (heap-of-Views object-graph engine) runs the same
 // scenario where it is feasible (it is the 10^4-capped engine this driver
 // exists to retire); `PSS_ASYNC_LEGACY=auto` runs it up to 10^5 nodes.
-// Results append to BENCH_async.json.
+// Results overwrite BENCH_async.json.
 //
 // Knobs (see docs/PERFORMANCE.md):
-//   PSS_ASYNC_NS     comma-separated network sizes (default 10000,100000,1000000)
-//   PSS_PERIODS      measured periods per run            (default 20)
-//   PSS_WARMUP       warm-up periods before measuring    (default 5)
-//   PSS_C            view size c                         (default 30)
-//   PSS_SEED         master seed                         (default 42)
-//   PSS_DROP         message drop probability            (default 0)
-//   PSS_ASYNC_LEGACY "auto" (n <= 1e5), "1" (always), "0" (never)
-//   PSS_ASYNC_JSON   output path                         (default BENCH_async.json)
+//   PSS_ASYNC_NS      comma-separated network sizes (default 10000,100000,1000000)
+//   PSS_ASYNC_THREADS comma-separated parallel-engine lane counts (default 1,2,4)
+//   PSS_ASYNC_KERNELS "both" (default), "scalar", "simd"
+//   PSS_PERIODS       measured periods per run            (default 20)
+//   PSS_WARMUP        warm-up periods before measuring    (default 5)
+//   PSS_C             view size c                         (default 30)
+//   PSS_SEED          master seed                         (default 42)
+//   PSS_DROP          message drop probability            (default 0)
+//   PSS_ASYNC_LEGACY  "auto" (n <= 1e5), "1" (always), "0" (never)
+//   PSS_ASYNC_JSON    output path                         (default BENCH_async.json)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -36,10 +50,13 @@
 #include <vector>
 
 #include "pss/common/env.hpp"
+#include "pss/membership/simd.hpp"
+#include "pss/scenarios/digest.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/event_engine.hpp"
 #include "pss/sim/legacy_event_engine.hpp"
 #include "pss/sim/network.hpp"
+#include "pss/sim/parallel_event_engine.hpp"
 
 // --- Whole-process allocation counter --------------------------------------
 // Overriding the global allocation functions in the bench binary counts
@@ -72,7 +89,8 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-std::vector<std::size_t> parse_sizes(const std::string& text) {
+std::vector<std::size_t> parse_sizes(const std::string& text,
+                                     const char* knob) {
   std::vector<std::size_t> out;
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -89,9 +107,9 @@ std::vector<std::size_t> parse_sizes(const std::string& text) {
       }
       if (consumed != token.size() || value == 0) {
         std::fprintf(stderr,
-                     "PSS_ASYNC_NS: bad network size '%s' (want a "
-                     "comma-separated list of positive integers)\n",
-                     token.c_str());
+                     "%s: bad entry '%s' (want a comma-separated list of "
+                     "positive integers)\n",
+                     knob, token.c_str());
         std::exit(1);
       }
       out.push_back(static_cast<std::size_t>(value));
@@ -103,13 +121,30 @@ std::vector<std::size_t> parse_sizes(const std::string& text) {
 }
 
 /// Events the engine processed: wake-ups plus every delivered message
-/// (dropped ones never enter the queue); comparable across both engines.
+/// (dropped ones never enter the queue); comparable across all engines.
 std::uint64_t events_processed(const pss::sim::EventEngineStats& s) {
   return s.wakeups + (s.messages_sent - s.messages_dropped);
 }
 
+const char* level_name(pss::simd::Level level) {
+  switch (level) {
+    case pss::simd::Level::kScalar:
+      return "scalar";
+    case pss::simd::Level::kSSE2:
+      return "sse2";
+    case pss::simd::Level::kAVX2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+/// One matrix cell: engine ∈ {flat sequential (threads = 0), parallel at a
+/// ladder entry, legacy baseline}, under one kernel tier.
 struct RunResult {
   std::size_t n = 0;
+  std::string engine;    ///< "flat", "parallel", "legacy"
+  std::string kernel;    ///< "scalar", "sse2", "avx2" ("-" for legacy)
+  unsigned threads = 0;  ///< 0 for the sequential engines
   double setup_seconds = 0;
   double run_seconds = 0;
   double events_per_second = 0;
@@ -117,19 +152,72 @@ struct RunResult {
   std::uint64_t steady_allocations = 0;
   double bytes_per_node = 0;
   double mean_view_size = 0;
-  double legacy_run_seconds = 0;       ///< 0 when the baseline was skipped
-  double legacy_events_per_second = 0;
-  double speedup_vs_legacy = 0;
+  std::uint64_t digest = 0;  ///< post-run state digest (0 for legacy)
+  bool gated = false;        ///< participates in the digest gate
+  std::uint64_t windows = 0; ///< parallel engine only
+  std::uint64_t deferred_tasks = 0;
+  std::uint64_t pooled_tasks = 0;
   pss::sim::EventEngineStats stats;
 };
+
+/// Builds the standard scenario and runs warmup + measured periods through
+/// `Engine`, filling the timing/allocation/digest fields of `r`. Returns
+/// the engine by value-channel side effects only; parallel-only counters
+/// are harvested by the caller through the lambda hook.
+template <typename Engine, typename Harvest, typename... EngineArgs>
+void run_cell(RunResult& r, const pss::ProtocolSpec& spec, std::size_t c,
+              std::uint64_t seed, pss::sim::EventEngineConfig cfg,
+              std::size_t warmup, std::size_t periods, Harvest&& harvest,
+              EngineArgs&&... args) {
+  using namespace pss;
+  const auto t_setup = Clock::now();
+  sim::Network net(spec, ProtocolOptions{c, false}, seed);
+  net.reserve_nodes(r.n);
+  net.add_nodes(r.n);
+  sim::bootstrap::init_random(net);
+  Engine engine(net, cfg, std::forward<EngineArgs>(args)...);
+  engine.run_cycles(warmup);  // queue/pool/scratch reach high-water marks
+  r.setup_seconds = seconds_since(t_setup);
+
+  const auto warm_stats = engine.stats();
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t_run = Clock::now();
+  engine.run_cycles(periods);
+  r.run_seconds = seconds_since(t_run);
+  r.steady_allocations =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+
+  r.stats = engine.stats();
+  r.events = events_processed(r.stats) - events_processed(warm_stats);
+  r.events_per_second = static_cast<double>(r.events) / r.run_seconds;
+  std::size_t engine_bytes = 0;
+  if constexpr (requires { engine.resident_bytes(); }) {
+    engine_bytes = engine.resident_bytes();
+  }
+  r.bytes_per_node =
+      static_cast<double>(net.resident_bytes() + engine_bytes) /
+      static_cast<double>(r.n);
+  std::uint64_t total_view = 0;
+  for (NodeId id = 0; id < r.n; ++id) total_view += net.view_span(id).size();
+  r.mean_view_size =
+      static_cast<double>(total_view) / static_cast<double>(r.n);
+  r.digest = scenarios::state_digest(net);
+  harvest(engine);
+}
 
 }  // namespace
 
 int main() {
   using namespace pss;
 
-  const auto sizes = parse_sizes(
-      env::get("PSS_ASYNC_NS").value_or("10000,100000,1000000"));
+  const auto sizes =
+      parse_sizes(env::get("PSS_ASYNC_NS").value_or("10000,100000,1000000"),
+                  "PSS_ASYNC_NS");
+  const auto ladder = parse_sizes(
+      env::get("PSS_ASYNC_THREADS").value_or("1,2,4"), "PSS_ASYNC_THREADS");
+  const std::string kernel_mode =
+      env::get("PSS_ASYNC_KERNELS").value_or("both");
   const auto periods = static_cast<std::size_t>(env::get_int("PSS_PERIODS", 20));
   const auto warmup = static_cast<std::size_t>(env::get_int("PSS_WARMUP", 5));
   const auto c = static_cast<std::size_t>(env::get_int("PSS_C", 30));
@@ -140,80 +228,132 @@ int main() {
   const std::string out_path =
       env::get("PSS_ASYNC_JSON").value_or("BENCH_async.json");
 
+  // Kernel tiers for the matrix: scalar always; the "simd" leg is whatever
+  // the CPU detected (skipped when detection says scalar — e.g. under
+  // PSS_FORCE_SCALAR — rather than silently measured twice).
+  std::vector<simd::Level> kernels;
+  if (kernel_mode == "scalar") {
+    kernels = {simd::Level::kScalar};
+  } else if (kernel_mode == "simd") {
+    kernels = {simd::detected_level()};
+  } else {
+    kernels = {simd::Level::kScalar};
+    if (simd::detected_level() != simd::Level::kScalar) {
+      kernels.push_back(simd::detected_level());
+    }
+  }
+
   const ProtocolSpec spec = ProtocolSpec::newscast();
   sim::EventEngineConfig cfg;
   cfg.drop_probability = drop;
 
   std::vector<RunResult> results;
+  bool digest_ok = true;
   std::printf(
-      "scale_async: spec=%s c=%zu periods=%zu warmup=%zu drop=%.2f seed=%llu\n",
+      "scale_async: spec=%s c=%zu periods=%zu warmup=%zu drop=%.2f seed=%llu "
+      "simd=%s threads={",
       spec.name().c_str(), c, periods, warmup, drop,
-      static_cast<unsigned long long>(seed));
+      static_cast<unsigned long long>(seed),
+      level_name(simd::detected_level()));
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    std::printf("%s%zu", i ? "," : "", ladder[i]);
+  }
+  std::printf("}\n");
 
+  const auto no_harvest = [](const auto&) {};
   for (const std::size_t n : sizes) {
-    RunResult r;
-    r.n = n;
+    std::uint64_t reference_digest = 0;
+    bool have_reference = false;
+    for (const simd::Level kernel : kernels) {
+      simd::set_level_for_testing(kernel);
+      // Sequential engine under this kernel tier.
+      RunResult seq;
+      seq.n = n;
+      seq.engine = "flat";
+      seq.kernel = level_name(kernel);
+      seq.gated = true;
+      run_cell<sim::EventEngine>(seq, spec, c, seed, cfg, warmup, periods,
+                                 no_harvest);
+      if (!have_reference) {
+        reference_digest = seq.digest;  // scalar sequential = the oracle
+        have_reference = true;
+      }
+      std::printf(
+          "  n=%-8zu flat/%-6s        setup=%6.2fs run=%6.2fs %10.0f ev/s  "
+          "%6.1f B/node  steady_allocs=%llu  digest=%016llx\n",
+          n, seq.kernel.c_str(), seq.setup_seconds, seq.run_seconds,
+          seq.events_per_second, seq.bytes_per_node,
+          static_cast<unsigned long long>(seq.steady_allocations),
+          static_cast<unsigned long long>(seq.digest));
+      results.push_back(seq);
 
-    const auto t_setup = Clock::now();
-    sim::Network net(spec, ProtocolOptions{c, false}, seed);
-    net.reserve_nodes(n);
-    net.add_nodes(n);
-    sim::bootstrap::init_random(net);
-    sim::EventEngine engine(net, cfg);
-    engine.run_cycles(warmup);  // queue/pool/scratch reach high-water marks
-    r.setup_seconds = seconds_since(t_setup);
+      // Parallel engine ladder under this kernel tier.
+      for (const std::size_t threads : ladder) {
+        RunResult par;
+        par.n = n;
+        par.engine = "parallel";
+        par.kernel = level_name(kernel);
+        par.threads = static_cast<unsigned>(threads);
+        par.gated = true;
+        run_cell<sim::ParallelEventEngine>(
+            par, spec, c, seed, cfg, warmup, periods,
+            [&par](const sim::ParallelEventEngine& e) {
+              par.windows = e.windows();
+              par.deferred_tasks = e.deferred_tasks();
+              par.pooled_tasks = e.pooled_tasks();
+            },
+            static_cast<unsigned>(threads));
+        std::printf(
+            "  n=%-8zu parallel/%-6s t=%zu  run=%6.2fs %10.0f ev/s  "
+            "windows=%llu deferred=%llu pooled=%llu  digest=%016llx\n",
+            n, par.kernel.c_str(), threads, par.run_seconds,
+            par.events_per_second,
+            static_cast<unsigned long long>(par.windows),
+            static_cast<unsigned long long>(par.deferred_tasks),
+            static_cast<unsigned long long>(par.pooled_tasks),
+            static_cast<unsigned long long>(par.digest));
+        results.push_back(par);
+      }
+    }
+    simd::set_level_for_testing(simd::detected_level());
 
-    const auto warm_stats = engine.stats();
-    const std::uint64_t allocs_before =
-        g_alloc_count.load(std::memory_order_relaxed);
-    const auto t_run = Clock::now();
-    engine.run_cycles(periods);
-    r.run_seconds = seconds_since(t_run);
-    r.steady_allocations =
-        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
-
-    r.stats = engine.stats();
-    r.events = events_processed(r.stats) - events_processed(warm_stats);
-    r.events_per_second = static_cast<double>(r.events) / r.run_seconds;
-    r.bytes_per_node =
-        static_cast<double>(net.resident_bytes() + engine.resident_bytes()) /
-        static_cast<double>(n);
-    std::uint64_t total_view = 0;
-    for (NodeId id = 0; id < n; ++id) total_view += net.view_span(id).size();
-    r.mean_view_size = static_cast<double>(total_view) / static_cast<double>(n);
-
-    std::printf(
-        "  n=%-8zu flat:   setup=%6.2fs run=%6.2fs  %10.0f events/s  "
-        "%6.1f B/node  steady_allocs=%llu  mean_view=%.2f\n",
-        n, r.setup_seconds, r.run_seconds, r.events_per_second,
-        r.bytes_per_node, static_cast<unsigned long long>(r.steady_allocations),
-        r.mean_view_size);
+    // The gate: every flat/parallel cell of this n must match the scalar
+    // sequential reference bit for bit.
+    for (const RunResult& r : results) {
+      if (r.n != n || !r.gated) continue;
+      if (r.digest != reference_digest) {
+        digest_ok = false;
+        std::fprintf(stderr,
+                     "DIGEST MISMATCH n=%zu engine=%s kernel=%s threads=%u: "
+                     "%016llx != reference %016llx\n",
+                     n, r.engine.c_str(), r.kernel.c_str(), r.threads,
+                     static_cast<unsigned long long>(r.digest),
+                     static_cast<unsigned long long>(reference_digest));
+      }
+    }
 
     const bool run_legacy =
         legacy_mode == "1" || (legacy_mode == "auto" && n <= 100000);
     if (run_legacy) {
-      sim::Network legacy_net(spec, ProtocolOptions{c, false}, seed);
-      legacy_net.reserve_nodes(n);
-      legacy_net.add_nodes(n);
-      sim::bootstrap::init_random(legacy_net);
-      sim::LegacyEventEngine legacy(legacy_net, cfg);
-      legacy.run_cycles(warmup);
-      const auto legacy_warm = events_processed(legacy.stats());
-      const auto t_legacy = Clock::now();
-      legacy.run_cycles(periods);
-      r.legacy_run_seconds = seconds_since(t_legacy);
-      const std::uint64_t legacy_events =
-          events_processed(legacy.stats()) - legacy_warm;
-      r.legacy_events_per_second =
-          static_cast<double>(legacy_events) / r.legacy_run_seconds;
-      r.speedup_vs_legacy = r.events_per_second / r.legacy_events_per_second;
+      RunResult legacy;
+      legacy.n = n;
+      legacy.engine = "legacy";
+      legacy.kernel = "-";
+      run_cell<sim::LegacyEventEngine>(legacy, spec, c, seed, cfg, warmup,
+                                       periods, no_harvest);
+      legacy.digest = 0;  // outside the gate: frozen baseline, own arena
+      // Speedup of the fastest measured flat/parallel cell at this n.
+      double best = 0;
+      for (const RunResult& r : results) {
+        if (r.n == n && r.gated) best = std::max(best, r.events_per_second);
+      }
       std::printf(
-          "  n=%-8zu legacy: run=%6.2fs  %10.0f events/s  -> flat speedup "
-          "%.1fx\n",
-          n, r.legacy_run_seconds, r.legacy_events_per_second,
-          r.speedup_vs_legacy);
+          "  n=%-8zu legacy:              run=%6.2fs %10.0f ev/s  -> best "
+          "flat speedup %.1fx\n",
+          n, legacy.run_seconds, legacy.events_per_second,
+          best / legacy.events_per_second);
+      results.push_back(legacy);
     }
-    results.push_back(r);
   }
 
   std::ofstream json(out_path);
@@ -229,11 +369,20 @@ int main() {
        << "  \"warmup_periods\": " << warmup << ",\n"
        << "  \"drop_probability\": " << drop << ",\n"
        << "  \"seed\": " << seed << ",\n"
+       << "  \"simd_detected\": \"" << level_name(simd::detected_level())
+       << "\",\n"
+       << "  \"digest_ok\": " << (digest_ok ? "true" : "false") << ",\n"
        << "  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(r.digest));
     json << "    {\n"
          << "      \"n\": " << r.n << ",\n"
+         << "      \"engine\": \"" << r.engine << "\",\n"
+         << "      \"kernel\": \"" << r.kernel << "\",\n"
+         << "      \"threads\": " << r.threads << ",\n"
          << "      \"setup_seconds\": " << r.setup_seconds << ",\n"
          << "      \"run_seconds\": " << r.run_seconds << ",\n"
          << "      \"events\": " << r.events << ",\n"
@@ -241,19 +390,24 @@ int main() {
          << "      \"steady_allocations\": " << r.steady_allocations << ",\n"
          << "      \"bytes_per_node\": " << r.bytes_per_node << ",\n"
          << "      \"mean_view_size\": " << r.mean_view_size << ",\n"
+         << "      \"windows\": " << r.windows << ",\n"
+         << "      \"deferred_tasks\": " << r.deferred_tasks << ",\n"
+         << "      \"pooled_tasks\": " << r.pooled_tasks << ",\n"
          << "      \"wakeups\": " << r.stats.wakeups << ",\n"
          << "      \"messages_sent\": " << r.stats.messages_sent << ",\n"
          << "      \"messages_dropped\": " << r.stats.messages_dropped << ",\n"
          << "      \"replies_delivered\": " << r.stats.replies_delivered
          << ",\n"
          << "      \"replies_stale\": " << r.stats.replies_stale << ",\n"
-         << "      \"legacy_run_seconds\": " << r.legacy_run_seconds << ",\n"
-         << "      \"legacy_events_per_second\": "
-         << r.legacy_events_per_second << ",\n"
-         << "      \"speedup_vs_legacy\": " << r.speedup_vs_legacy << "\n"
+         << "      \"digest\": \"" << digest_hex << "\"\n"
          << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
+  if (!digest_ok) {
+    std::fprintf(stderr, "digest gate FAILED\n");
+    return 1;
+  }
+  std::printf("digest gate OK (all thread counts x kernels bit-identical)\n");
   return 0;
 }

@@ -37,6 +37,7 @@
 #include "pss/common/check.hpp"
 #include "pss/common/types.hpp"
 #include "pss/membership/node_descriptor.hpp"
+#include "pss/membership/simd.hpp"
 
 namespace pss {
 
@@ -97,13 +98,29 @@ class FlatViewStore {
   void assign(NodeId slot, std::span<const NodeDescriptor> entries);
 
   /// increaseHopCount for one slot: ages every entry by one hop. Order by
-  /// (hop, address) is preserved under a uniform +1.
+  /// (hop, address) is preserved under a uniform +1. The loop is a lane-wise
+  /// add of (1 << 32) on the packed descriptor keys (simd.hpp), two or four
+  /// entries per instruction on x86.
   void age(NodeId slot) {
     PSS_DCHECK(slot < sizes_.size());
-    NodeDescriptor* base =
-        slots_.data() + static_cast<std::size_t>(slot) * capacity_;
-    for (std::uint32_t i = 0; i < sizes_[slot]; ++i) ++base[i].hop_count;
+    simd::age_in_place(
+        slots_.data() + static_cast<std::size_t>(slot) * capacity_,
+        sizes_[slot]);
     touch(slot);
+  }
+
+  /// age() fused with the active-buffer export: ages the slot in place
+  /// while streaming the aged entries to `out` (which must hold
+  /// view_size(slot) entries). One pass over the slot where the event
+  /// engine's wakeup used to pay two — aging, then a re-read to build the
+  /// outgoing request. Returns the entry count written.
+  std::uint32_t age_and_copy(NodeId slot, NodeDescriptor* out) {
+    PSS_DCHECK(slot < sizes_.size());
+    const std::uint32_t n = sizes_[slot];
+    simd::age_write_both(
+        slots_.data() + static_cast<std::size_t>(slot) * capacity_, out, n);
+    touch(slot);
+    return n;
   }
 
   /// Removes the entry for `address` if present; returns true when removed.

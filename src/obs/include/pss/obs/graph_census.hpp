@@ -29,6 +29,21 @@
 //   span unioned with its in-list — using epoch-stamped BFS state, so no
 //   per-call clearing of N-sized arrays.
 //
+// Parallel execution: set_thread_pool attaches a sim::ThreadPool and the
+// per-node passes (1–3) plus the sampled estimators fan their node/source
+// loops across lanes, bit-identical to the sequential walk at any lane
+// count. The decomposition is deterministic by construction: lanes own
+// contiguous chunks of the ascending live list (or pick list), every
+// shared array cell has exactly one writer (out/und degrees by source
+// node; the in-CSR through per-lane cursor bases derived from per-lane
+// counts, which also keeps each in-list sorted), and cross-lane reductions
+// are either exact integers merged in lane order or per-pick values
+// reduced serially in pick order — so no floating-point reassociation and
+// no write order can differ from the sequential pass. Union-find (pass 4)
+// and the histogram/summary folds stay serial: they are O(N) against the
+// O(N·c) passes and the summary's double accumulation order is part of the
+// bit-equality contract with graph::degree_summary.
+//
 // Equivalence contract (pinned by tests/obs_test.cpp):
 //   - degree histogram, component count/largest/size multiset: bit-equal
 //     to graph::metrics on the exact snapshot graph;
@@ -61,6 +76,7 @@
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
 #include "pss/sim/network.hpp"
+#include "pss/sim/thread_pool.hpp"
 
 namespace pss::obs {
 
@@ -98,6 +114,13 @@ class GraphCensus {
   /// O(N + E) with E = live->live view entries; allocation-free after the
   /// first call on a same-sized network.
   void rebuild(const sim::Network& network);
+
+  /// Attaches a fork-join pool for rebuild() and the sampled estimators;
+  /// nullptr detaches. Results are bit-identical with or without a pool at
+  /// any lane count (see the header comment) — parallelism buys wall-clock
+  /// only. The pool must outlive the census (or the next call here) and is
+  /// driven only from the thread calling rebuild()/estimator methods.
+  void set_thread_pool(sim::ThreadPool* pool) { pool_ = pool; }
 
   // --- Streamed observables (valid after rebuild) --------------------------
 
@@ -164,12 +187,34 @@ class GraphCensus {
   std::size_t storage_bytes() const;
 
  private:
+  /// Per-lane working state for the parallel passes; sized lazily to the
+  /// attached pool's lane count and reused across rebuilds and estimator
+  /// calls (same persistence discipline as the serial buffers).
+  struct LaneScratch {
+    std::vector<std::uint32_t> in_cnt;   ///< pass-1 per-lane in-degree counts
+    std::vector<std::size_t> cursor;     ///< pass-2 per-lane CSR cursors
+    std::vector<std::uint32_t> dist;     ///< per-lane BFS state
+    std::vector<std::uint32_t> stamp;
+    std::vector<NodeId> queue;
+    std::uint32_t epoch = 0;
+    std::vector<NodeId> nbr_union;       ///< per-lane clustering scratch
+  };
+
   std::uint32_t find_root(std::uint32_t x);
   void unite(std::uint32_t a, std::uint32_t b);
   bool has_directed_edge(NodeId from, NodeId to) const;
   bool has_undirected_edge(NodeId a, NodeId b) const;
-  double local_clustering(NodeId id);
+  double local_clustering(NodeId id, std::vector<NodeId>& scratch) const;
   void bfs(NodeId source);
+  void bfs_from(NodeId source, std::vector<std::uint32_t>& dist,
+                std::vector<std::uint32_t>& stamp, std::vector<NodeId>& queue,
+                std::uint32_t& epoch) const;
+  /// Lanes to fan `items` across: the pool's count, or 1 when no pool is
+  /// attached (or there is nothing to split).
+  unsigned lane_count(std::size_t items) const {
+    if (pool_ == nullptr || items < 2) return 1;
+    return pool_->concurrency();
+  }
 
   std::span<const NodeId> in_list(NodeId id) const {
     return {in_nbr_.data() + in_off_[id], in_nbr_.data() + in_off_[id + 1]};
@@ -204,6 +249,16 @@ class GraphCensus {
   std::vector<std::size_t> picks_;
   std::vector<std::size_t> pick_scratch_;
   std::vector<NodeId> nbr_union_;  ///< one node's undirected neighbourhood
+
+  // Parallel execution (inactive until set_thread_pool).
+  sim::ThreadPool* pool_ = nullptr;
+  std::vector<LaneScratch> lanes_;
+  // Per-pick estimator results, reduced serially in pick order so the
+  // parallel paths reproduce the sequential accumulation bit for bit.
+  std::vector<double> pick_clust_;
+  std::vector<std::uint64_t> pick_total_;
+  std::vector<std::uint64_t> pick_reach_;
+  std::vector<std::uint32_t> pick_diam_;
 };
 
 }  // namespace pss::obs

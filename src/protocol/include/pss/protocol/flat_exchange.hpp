@@ -130,15 +130,33 @@ inline std::uint32_t write_active_buffer(DescSpan view, NodeId self, bool push,
                                          NodeDescriptor* out) {
   if (!push) return 0;  // empty buffer triggers the pull reply
   const NodeDescriptor me{self, 0};
-  const std::uint64_t me_key = detail::sort_key(me);
-  std::size_t n = 0;
-  std::size_t i = 0;
-  while (i < view.size() && detail::sort_key(view[i]) < me_key) {
-    out[n++] = view[i++];
+  // The insertion point is the count of keys below (0 << 32 | self) — a
+  // branch-free SIMD scan (simd.hpp) instead of the element-wise compare
+  // loop; the two bulk copies around it vectorize as plain memmoves.
+  const std::size_t split =
+      simd::count_less(view.data(), view.size(), detail::sort_key(me));
+  std::copy_n(view.data(), split, out);
+  out[split] = me;
+  std::copy_n(view.data() + split, view.size() - split, out + split + 1);
+  return static_cast<std::uint32_t>(view.size() + 1);
+}
+
+/// Wakeup-path fusion of FlatViewStore::age + write_active_buffer: ages the
+/// slot in place while streaming the aged entries into `out`, with
+/// {self, 0} leading. After a uniform +1 every aged key is >= (1 << 32) and
+/// the self descriptor's key is `self` < 2^32, so its sorted position is
+/// always index 0 — the insertion scan disappears along with the second
+/// pass over the slot. Bit-identical to age-then-write (the flat-vs-legacy
+/// replay suite pins it through the event engine).
+inline std::uint32_t age_write_active_buffer(FlatViewStore& store, NodeId slot,
+                                             NodeId self, bool push,
+                                             NodeDescriptor* out) {
+  if (!push) {
+    store.age(slot);
+    return 0;  // empty buffer triggers the pull reply
   }
-  out[n++] = me;
-  while (i < view.size()) out[n++] = view[i++];
-  return static_cast<std::uint32_t>(n);
+  out[0] = NodeDescriptor{self, 0};
+  return store.age_and_copy(slot, out + 1) + 1;
 }
 
 /// Passive half of Figure 1 over message buffers: writes the pull reply

@@ -55,20 +55,34 @@ std::uint32_t EventEngine::maybe_forge_slab(NodeId sender, NodeId receiver,
 }
 
 void EventEngine::send_request(NodeId from, NodeId to,
-                               std::uint64_t exchange_id) {
+                               std::uint64_t exchange_id, bool age_view) {
   ++stats_.messages_sent;
   Rng& rng = network_->rng();
   if (rng.chance(config_.drop_probability)) {
     ++stats_.messages_dropped;
-    return;  // a dropped message never needs its payload built
+    // A dropped message never needs its payload built, but the slot's
+    // once-per-period aging still happens (it preceded the drop draw
+    // before the fusion below; aging consumes no Rng, so deferring it
+    // behind the draw is invisible).
+    if (age_view) network_->arena().views.age(from);
+    return;
   }
   const double latency =
       config_.min_latency +
       rng.uniform() * (config_.max_latency - config_.min_latency);
   const DescriptorSlabPool::SlabId slab = pool_.acquire();
-  std::uint32_t n = flat::write_active_buffer(
-      network_->arena().views.view_of(from), from, network_->spec().push(),
-      pool_.data(slab));
+  // Fused pass: age the active slot while streaming the aged entries (and
+  // the leading {self, 0}) straight into the message slab — one touch of
+  // the slot where age + write_active_buffer paid two (the double-touch
+  // the ROADMAP charged this engine with). Byzantine wakeups keep the
+  // unfused build on the un-aged view (their aging was suppressed).
+  std::uint32_t n =
+      age_view ? flat::age_write_active_buffer(network_->arena().views, from,
+                                               from, network_->spec().push(),
+                                               pool_.data(slab))
+               : flat::write_active_buffer(network_->arena().views.view_of(from),
+                                           from, network_->spec().push(),
+                                           pool_.data(slab));
   n = maybe_forge_slab(from, to, slab, n);
   pool_.set_size(slab, n);
   push_event(now_ + latency, Kind::kRequest, from, to, exchange_id, slab);
@@ -91,13 +105,20 @@ void EventEngine::on_wakeup(NodeId id) {
   flat::NodeArena& arena = network_->arena();
   expire_pending(id);
 
-  if (tamper_ == nullptr || !tamper_->suppress_aging(id)) {
-    arena.views.age(id);  // once-per-period aging (timestamp semantics)
-  }
+  // Peer selection runs on the un-aged view so the once-per-period aging
+  // can fuse with the request-buffer build in send_request (one pass over
+  // the active slot instead of two). Legal by the argument pinned in
+  // cycle_step.hpp: a uniform +1 preserves the (hop, address) order, the
+  // class boundaries and the class sizes, so every policy picks the same
+  // address and consumes Rng identically on either side of the aging.
+  const bool age_view = tamper_ == nullptr || !tamper_->suppress_aging(id);
   auto peer = flat::select_peer(arena.views.view_of(id),
                                 network_->spec().peer_selection,
                                 arena.rngs[id]);
-  if (!peer) return;
+  if (!peer) {
+    if (age_view) arena.views.age(id);  // timestamp semantics, peer or not
+    return;
+  }
   ++arena.stats[id].initiated;
 
   const std::uint64_t exchange_id = next_exchange_++;
@@ -108,7 +129,7 @@ void EventEngine::on_wakeup(NodeId id) {
       ++stats_.replies_stale;
     }
   }
-  send_request(id, *peer, exchange_id);
+  send_request(id, *peer, exchange_id, age_view);
 }
 
 void EventEngine::on_request(const FlatEvent& e) {

@@ -151,7 +151,8 @@ class EventEngine {
                                  std::uint32_t size);
   void push_event(double at, Kind kind, NodeId from, NodeId to,
                   std::uint64_t exchange_id, DescriptorSlabPool::SlabId slab);
-  void send_request(NodeId from, NodeId to, std::uint64_t exchange_id);
+  void send_request(NodeId from, NodeId to, std::uint64_t exchange_id,
+                    bool age_view);
   void on_wakeup(NodeId node);
   void on_request(const FlatEvent& e);
   void on_reply(const FlatEvent& e);

@@ -299,6 +299,86 @@ TEST(GraphCensus, PathLengthOnDisconnectedOverlayCountsReachablePairsOnly) {
   EXPECT_LT(est.reachable_fraction, 1.0);
 }
 
+TEST(GraphCensusParallel, RebuildBitEqualToSequentialAtEveryLaneCount) {
+  // The set_thread_pool contract: every streamed observable is
+  // bit-identical to the sequential rebuild at any lane count, including
+  // on an overlay with dead links and cross-partition links so all three
+  // pass-1 tallies are non-trivial.
+  auto net = make_converged(ProtocolSpec::newscast(), 400, 12, 19);
+  net.kill_random(60, net.rng());
+  for (NodeId id = 0; id < net.size(); ++id) {
+    net.set_partition_group(id, id % 2);
+  }
+  obs::GraphCensus seq;
+  seq.rebuild(net);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    sim::ThreadPool pool(threads);
+    obs::GraphCensus par;
+    par.set_thread_pool(&pool);
+    par.rebuild(net);
+    ASSERT_EQ(seq.live_count(), par.live_count());
+    EXPECT_EQ(seq.directed_edge_count(), par.directed_edge_count());
+    EXPECT_EQ(seq.undirected_edge_count(), par.undirected_edge_count());
+    EXPECT_EQ(seq.dead_link_count(), par.dead_link_count());
+    EXPECT_EQ(seq.cross_partition_link_count(),
+              par.cross_partition_link_count());
+    for (const NodeId id : seq.live_list()) {
+      ASSERT_EQ(seq.out_degree(id), par.out_degree(id));
+      ASSERT_EQ(seq.in_degree(id), par.in_degree(id));
+      ASSERT_EQ(seq.undirected_degree(id), par.undirected_degree(id));
+    }
+    const auto sh = seq.degree_histogram();
+    const auto ph = par.degree_histogram();
+    ASSERT_EQ(sh.size(), ph.size());
+    EXPECT_TRUE(std::equal(sh.begin(), sh.end(), ph.begin()));
+    EXPECT_EQ(seq.degree_stats().mean, par.degree_stats().mean);
+    EXPECT_EQ(seq.degree_stats().variance, par.degree_stats().variance);
+    EXPECT_EQ(seq.components().count, par.components().count);
+    EXPECT_EQ(seq.components().largest, par.components().largest);
+  }
+}
+
+TEST(GraphCensusParallel, EstimatorsBitEqualToSequentialAtEveryLaneCount) {
+  // Sampled estimators from cloned Rngs: same draws, same per-pick values,
+  // same reductions — doubles compare with EXPECT_EQ, not near.
+  auto net = make_converged(ProtocolSpec::newscast(), 350, 12, 23);
+  net.kill_random(40, net.rng());
+  obs::GraphCensus seq;
+  seq.rebuild(net);
+  Rng seq_rng(77);
+  const double seq_clust = seq.clustering_sampled(64, seq_rng);
+  const double seq_clust_exact = seq.clustering_sampled(seq.live_count(),
+                                                        seq_rng);
+  const std::uint32_t seq_probe = seq_rng.below(1u << 20);
+  Rng seq_path_rng(78);
+  const auto seq_path = seq.path_length_sampled(32, seq_path_rng);
+  const auto seq_path_full =
+      seq.path_length_sampled(seq.live_count(), seq_path_rng);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    sim::ThreadPool pool(threads);
+    obs::GraphCensus par;
+    par.set_thread_pool(&pool);
+    par.rebuild(net);
+    Rng par_rng(77);
+    EXPECT_EQ(seq_clust, par.clustering_sampled(64, par_rng));
+    EXPECT_EQ(seq_clust_exact,
+              par.clustering_sampled(par.live_count(), par_rng));
+    Rng par_path_rng(78);
+    const auto par_path = par.path_length_sampled(32, par_path_rng);
+    EXPECT_EQ(seq_path.average, par_path.average);
+    EXPECT_EQ(seq_path.reachable_fraction, par_path.reachable_fraction);
+    EXPECT_EQ(seq_path.diameter, par_path.diameter);
+    const auto par_path_full =
+        par.path_length_sampled(par.live_count(), par_path_rng);
+    EXPECT_EQ(seq_path_full.average, par_path_full.average);
+    EXPECT_EQ(seq_path_full.reachable_fraction,
+              par_path_full.reachable_fraction);
+    EXPECT_EQ(seq_path_full.diameter, par_path_full.diameter);
+    // The Rng clones must sit at the same stream position afterwards.
+    EXPECT_EQ(seq_probe, par_rng.below(1u << 20));
+  }
+}
+
 TEST(DegreeAutocorrelation, TracksPanelDegreesAndMatchesStatsModule) {
   sim::Network net = make_converged(ProtocolSpec::newscast(), 300, 10);
   const std::vector<NodeId> panel = {3, 77, 150};

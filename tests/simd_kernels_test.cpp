@@ -1,0 +1,363 @@
+// The SIMD dispatch contract (simd.hpp): every vector kernel is
+// byte-for-byte identical to the scalar reference oracle — same output
+// arrays, same Rng consumption — at every tier the CPU supports. Each test
+// forces a tier with set_level_for_testing, replays the kernel against the
+// scalar result, and restores the detected tier on exit (the level is
+// process-global and other suites in this binary depend on it).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pss/membership/flat_ops.hpp"
+#include "pss/membership/flat_view_store.hpp"
+#include "pss/membership/simd.hpp"
+#include "pss/protocol/flat_exchange.hpp"
+#include "pss/scenarios/digest.hpp"
+#include "pss/sim/bootstrap.hpp"
+#include "pss/sim/event_engine.hpp"
+#include "pss/sim/network.hpp"
+
+namespace pss {
+namespace {
+
+/// Restores the detected dispatch tier when a test scope ends.
+struct LevelGuard {
+  ~LevelGuard() { simd::set_level_for_testing(simd::detected_level()); }
+};
+
+/// Tiers to exercise: scalar always, plus every hardware tier up to what
+/// this machine actually supports (requests above it would be clamped and
+/// silently re-test the same code path).
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kSSE2) {
+    levels.push_back(simd::Level::kSSE2);
+  }
+  if (simd::detected_level() >= simd::Level::kAVX2) {
+    levels.push_back(simd::Level::kAVX2);
+  }
+  return levels;
+}
+
+std::vector<NodeDescriptor> random_sorted_run(Rng& rng, std::size_t size,
+                                              NodeId address_space,
+                                              HopCount max_hop) {
+  std::vector<NodeDescriptor> entries;
+  for (std::size_t i = 0; i < size; ++i) {
+    entries.push_back({static_cast<NodeId>(rng.below(address_space)),
+                       static_cast<HopCount>(rng.below(max_hop))});
+  }
+  std::sort(entries.begin(), entries.end(), ByHopThenAddress{});
+  return entries;  // duplicates (same address, same or different hop) kept
+}
+
+void expect_bytes_equal(const NodeDescriptor* a, const NodeDescriptor* b,
+                        std::size_t n, const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(a[i].address, b[i].address) << what << " entry " << i;
+    ASSERT_EQ(a[i].hop_count, b[i].hop_count) << what << " entry " << i;
+  }
+}
+
+// --- Kernel-level differentials -------------------------------------------
+
+TEST(SimdKernels, AgedCopyMatchesScalarAtEveryTierAndLength) {
+  LevelGuard guard;
+  Rng rng(41);
+  // Ragged lengths straddle every vector width boundary (2-wide SSE2,
+  // 4-wide AVX2) including the empty and scalar-tail-only cases.
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 31u, 100u}) {
+    for (HopCount age : {HopCount{0}, HopCount{1}, HopCount{7}}) {
+      const auto src = random_sorted_run(rng, n, 50, 12);
+      std::vector<NodeDescriptor> ref(n), out(n);
+      simd::set_level_for_testing(simd::Level::kScalar);
+      simd::aged_copy(ref.data(), src.data(), n, age);
+      for (simd::Level level : available_levels()) {
+        simd::set_level_for_testing(level);
+        std::fill(out.begin(), out.end(), NodeDescriptor{0, 0});
+        simd::aged_copy(out.data(), src.data(), n, age);
+        expect_bytes_equal(ref.data(), out.data(), n, "aged_copy");
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, AgeWriteBothMatchesScalarAtEveryTierAndLength) {
+  LevelGuard guard;
+  Rng rng(43);
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 8u, 9u, 30u, 31u, 100u}) {
+    const auto src = random_sorted_run(rng, n, 50, 12);
+    std::vector<NodeDescriptor> ref_view = src, ref_out(n);
+    simd::set_level_for_testing(simd::Level::kScalar);
+    simd::age_write_both(ref_view.data(), ref_out.data(), n);
+    for (simd::Level level : available_levels()) {
+      simd::set_level_for_testing(level);
+      std::vector<NodeDescriptor> view = src, out(n);
+      simd::age_write_both(view.data(), out.data(), n);
+      expect_bytes_equal(ref_view.data(), view.data(), n, "aged view");
+      expect_bytes_equal(ref_out.data(), out.data(), n, "aged copy");
+      // The fused kernel must equal the two-pass composition too.
+      std::vector<NodeDescriptor> two_pass = src;
+      simd::age_in_place(two_pass.data(), n);
+      expect_bytes_equal(two_pass.data(), view.data(), n, "two-pass");
+    }
+  }
+}
+
+TEST(SimdKernels, CountLessMatchesScalarForAllProbePositions) {
+  LevelGuard guard;
+  Rng rng(47);
+  for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 13u, 31u}) {
+    const auto run = random_sorted_run(rng, n, 30, 6);
+    // Probe with every entry's own key, keys between entries, and the
+    // extremes — covers split == 0, == n, and every interior position.
+    std::vector<std::uint64_t> probes = {0, ~std::uint64_t{0}};
+    for (const NodeDescriptor& d : run) {
+      const std::uint64_t k =
+          (static_cast<std::uint64_t>(d.hop_count) << 32) | d.address;
+      probes.push_back(k);
+      probes.push_back(k + 1);
+    }
+    for (std::uint64_t key : probes) {
+      simd::set_level_for_testing(simd::Level::kScalar);
+      const std::size_t ref = simd::count_less(run.data(), n, key);
+      for (simd::Level level : available_levels()) {
+        simd::set_level_for_testing(level);
+        EXPECT_EQ(ref, simd::count_less(run.data(), n, key));
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MergeUnionMatchesScalarOnRaggedRuns) {
+  LevelGuard guard;
+  Rng rng(53);
+  // Every (na, nb) shape the dispatch gate admits plus shapes around it;
+  // small address space forces duplicates within and across runs.
+  const std::size_t sizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 60};
+  for (std::size_t na : sizes) {
+    for (std::size_t nb : sizes) {
+      const auto a = random_sorted_run(rng, na, 25, 5);
+      const auto b = random_sorted_run(rng, nb, 25, 5);
+      // Stage with sentinel padding exactly as the flat_ops front-end does.
+      std::vector<NodeDescriptor> pad_a(na + 8), pad_b(nb + 8);
+      std::copy(a.begin(), a.end(), pad_a.begin());
+      std::copy(b.begin(), b.end(), pad_b.begin());
+      simd::pad_after(pad_a.data(), na);
+      simd::pad_after(pad_b.data(), nb);
+      std::vector<NodeDescriptor> ref(na + nb + 8), out(na + nb + 8);
+      simd::set_level_for_testing(simd::Level::kScalar);
+      simd::merge_union(pad_a.data(), na, pad_b.data(), nb, ref.data());
+      for (simd::Level level : available_levels()) {
+        simd::set_level_for_testing(level);
+        std::fill(out.begin(), out.end(), NodeDescriptor{0, 0});
+        simd::merge_union(pad_a.data(), na, pad_b.data(), nb, out.data());
+        // Only the first na + nb entries are the contract; the vector
+        // kernel may spill sentinels beyond them.
+        expect_bytes_equal(ref.data(), out.data(), na + nb, "merge_union");
+      }
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "merge_union diverged at na=" << na << " nb=" << nb;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MergeIntoMatchesScalarIncludingRngStream) {
+  LevelGuard guard;
+  Rng rng(59);
+  flat::Scratch scratch;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto a = random_sorted_run(rng, rng.below(41), 30, 8);
+    auto b = random_sorted_run(rng, rng.below(41), 30, 8);
+    flat::normalize(a);
+    flat::normalize(b);
+    const auto age = static_cast<HopCount>(rng.below(3));
+    std::vector<NodeDescriptor> ref, out;
+    simd::set_level_for_testing(simd::Level::kScalar);
+    flat::merge_into(flat::DescSpan(a.data(), a.size()),
+                     flat::DescSpan(b.data(), b.size()), ref, scratch, age);
+    for (simd::Level level : available_levels()) {
+      simd::set_level_for_testing(level);
+      flat::merge_into(flat::DescSpan(a.data(), a.size()),
+                       flat::DescSpan(b.data(), b.size()), out, scratch, age);
+      ASSERT_EQ(ref.size(), out.size()) << "trial " << trial;
+      expect_bytes_equal(ref.data(), out.data(), ref.size(), "merge_into");
+    }
+  }
+}
+
+TEST(SimdKernels, MergeSelectHeadMatchesScalarIncludingRngStream) {
+  LevelGuard guard;
+  Rng rng(61);
+  flat::Scratch ref_scratch, out_scratch;
+  // c sweeps the ISSUE matrix; c <= kMaxEntries keeps the array kernel
+  // engaged (the c = 100 leg exercises it with large boundary classes).
+  for (std::size_t c : {1u, 2u, 30u, 31u, 100u}) {
+    for (int trial = 0; trial < 120; ++trial) {
+      auto a = random_sorted_run(rng, rng.below(33), 30, 6);
+      auto b = random_sorted_run(rng, rng.below(33), 30, 6);
+      flat::normalize(a);
+      flat::normalize(b);
+      const auto age = static_cast<HopCount>(rng.below(3));
+      // `self` sometimes present in the inputs (the self-skip edge case),
+      // sometimes absent.
+      const NodeId self = static_cast<NodeId>(rng.below(35));
+      const std::uint64_t stream_seed = rng.below(1u << 30);
+      Rng ref_rng(stream_seed);
+      simd::set_level_for_testing(simd::Level::kScalar);
+      const std::size_t ref_n = flat::merge_select_head_arr(
+          flat::DescSpan(a.data(), a.size()), flat::DescSpan(b.data(), b.size()),
+          self, c, ref_rng, ref_scratch, age);
+      // One post-call draw pins the reference stream position; every
+      // lane's generator must land on the same value after the kernel.
+      const std::uint32_t ref_probe = ref_rng.below(1u << 20);
+      for (simd::Level level : available_levels()) {
+        simd::set_level_for_testing(level);
+        Rng lane_rng(stream_seed);
+        const std::size_t out_n = flat::merge_select_head_arr(
+            flat::DescSpan(a.data(), a.size()),
+            flat::DescSpan(b.data(), b.size()), self, c, lane_rng, out_scratch,
+            age);
+        ASSERT_EQ(ref_n, out_n) << "c=" << c << " trial=" << trial;
+        expect_bytes_equal(ref_scratch.merge_arr.data(),
+                           out_scratch.merge_arr.data(), ref_n,
+                           "merge_select_head");
+        EXPECT_EQ(ref_probe, lane_rng.below(1u << 20))
+            << "Rng stream diverged at c=" << c << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, WriteActiveBufferInsertionPointMatchesScalar) {
+  LevelGuard guard;
+  Rng rng(67);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto view = random_sorted_run(rng, rng.below(33), 40, 6);
+    flat::normalize(view);
+    // Sweep self across below / inside / above the run's key range,
+    // including addresses equal to run entries (self is then removed —
+    // write_active_buffer requires self not in view).
+    const NodeId self = static_cast<NodeId>(rng.below(45));
+    view.erase(std::remove_if(view.begin(), view.end(),
+                              [&](const NodeDescriptor& d) {
+                                return d.address == self;
+                              }),
+               view.end());
+    std::vector<NodeDescriptor> ref(view.size() + 1), out(view.size() + 1);
+    simd::set_level_for_testing(simd::Level::kScalar);
+    const auto ref_n = flat::write_active_buffer(
+        flat::DescSpan(view.data(), view.size()), self, true, ref.data());
+    for (simd::Level level : available_levels()) {
+      simd::set_level_for_testing(level);
+      const auto out_n = flat::write_active_buffer(
+          flat::DescSpan(view.data(), view.size()), self, true, out.data());
+      ASSERT_EQ(ref_n, out_n);
+      expect_bytes_equal(ref.data(), out.data(), ref_n, "active buffer");
+    }
+  }
+}
+
+TEST(SimdKernels, AgeWriteActiveBufferEqualsAgeThenWrite) {
+  LevelGuard guard;
+  Rng rng(71);
+  for (simd::Level level : available_levels()) {
+    simd::set_level_for_testing(level);
+    for (int trial = 0; trial < 50; ++trial) {
+      auto entries = random_sorted_run(rng, rng.below(9), 40, 6);
+      flat::normalize(entries);
+      const NodeId self_addr = 41;  // outside the address space above
+      // Two identical stores; one runs the fused kernel, one the two-pass
+      // reference composition.
+      FlatViewStore fused(8), split(8);
+      const NodeId slot = fused.add_node();
+      (void)split.add_node();
+      fused.assign(slot, entries);
+      split.assign(slot, entries);
+      std::vector<NodeDescriptor> fused_buf(entries.size() + 1);
+      std::vector<NodeDescriptor> split_buf(entries.size() + 1);
+      const auto fused_n = flat::age_write_active_buffer(
+          fused, slot, self_addr, true, fused_buf.data());
+      split.age(slot);
+      const auto split_n = flat::write_active_buffer(
+          split.view_of(slot), self_addr, true, split_buf.data());
+      ASSERT_EQ(fused_n, split_n);
+      expect_bytes_equal(fused_buf.data(), split_buf.data(), fused_n,
+                         "fused wakeup buffer");
+      const auto fv = fused.view_of(slot);
+      const auto sv = split.view_of(slot);
+      ASSERT_EQ(fv.size(), sv.size());
+      expect_bytes_equal(fv.data(), sv.data(), fv.size(), "aged slot");
+    }
+  }
+}
+
+// --- Whole-protocol differential ------------------------------------------
+
+TEST(SimdKernels, AllProtocolsDigestEqualScalarVsVector) {
+  LevelGuard guard;
+  // End-to-end: a full async run per evaluated protocol must land on the
+  // same state digest under the scalar oracle and under every hardware
+  // tier — the vector kernels change nothing observable anywhere in the
+  // wakeup/request/reply pipeline.
+  sim::EventEngineConfig cfg;
+  cfg.drop_probability = 0.1;  // exercise the aging-after-drop path too
+  for (const ProtocolSpec& spec : ProtocolSpec::evaluated()) {
+    simd::set_level_for_testing(simd::Level::kScalar);
+    auto ref_net =
+        sim::bootstrap::make_random(spec, ProtocolOptions{8, false}, 100, 17);
+    sim::EventEngine ref(ref_net, cfg);
+    ref.run_until(8.5);
+    const std::uint64_t ref_digest = scenarios::state_digest(ref_net);
+    for (simd::Level level : available_levels()) {
+      simd::set_level_for_testing(level);
+      auto net = sim::bootstrap::make_random(spec, ProtocolOptions{8, false},
+                                             100, 17);
+      sim::EventEngine engine(net, cfg);
+      engine.run_until(8.5);
+      EXPECT_EQ(ref_digest, scenarios::state_digest(net))
+          << spec.name() << " diverged at level "
+          << static_cast<int>(level);
+    }
+  }
+}
+
+TEST(SimdKernels, ViewSizeSweepDigestEqualScalarVsVector) {
+  LevelGuard guard;
+  // The ISSUE's c matrix end-to-end. c = 100 pushes request merges past
+  // AddressSet::kMaxEntries, covering the vector-free fallback staying
+  // consistent with everything around it.
+  for (std::size_t c : {1u, 2u, 30u, 31u, 100u}) {
+    simd::set_level_for_testing(simd::Level::kScalar);
+    auto ref_net = sim::bootstrap::make_random(
+        ProtocolSpec::newscast(), ProtocolOptions{c, false}, 80, 23);
+    sim::EventEngine ref(ref_net, sim::EventEngineConfig{});
+    ref.run_until(6.5);
+    const std::uint64_t ref_digest = scenarios::state_digest(ref_net);
+    for (simd::Level level : available_levels()) {
+      simd::set_level_for_testing(level);
+      auto net = sim::bootstrap::make_random(
+          ProtocolSpec::newscast(), ProtocolOptions{c, false}, 80, 23);
+      sim::EventEngine engine(net, sim::EventEngineConfig{});
+      engine.run_until(6.5);
+      EXPECT_EQ(ref_digest, scenarios::state_digest(net)) << "c=" << c;
+    }
+  }
+}
+
+TEST(SimdKernels, DispatchLevelClampsAndRestores) {
+  LevelGuard guard;
+  simd::set_level_for_testing(simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  // Requests above the detected tier clamp to it — a kernel is never
+  // dispatched past what the CPU reports.
+  simd::set_level_for_testing(simd::Level::kAVX2);
+  EXPECT_LE(simd::active_level(), simd::detected_level());
+  simd::set_level_for_testing(simd::detected_level());
+  EXPECT_EQ(simd::active_level(), simd::detected_level());
+}
+
+}  // namespace
+}  // namespace pss
