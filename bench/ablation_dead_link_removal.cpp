@@ -13,7 +13,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/failure.hpp"
 #include "pss/experiments/reporting.hpp"
@@ -35,8 +34,17 @@ int main() {
       {PeerSelection::kTail, ViewSelection::kRand, ViewPropagation::kPush},
   };
 
-  CsvSink csv("ablation_dead_link_removal");
-  csv.write_row({"protocol", "evict", "cycles_after_failure", "dead_links"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"evict", obs::FieldType::kBool},
+      {"cycles_after_failure", obs::FieldType::kU64},
+      {"dead_links", obs::FieldType::kU64},
+  };
+  static constexpr obs::MetricSchema kSchema{
+      "pss.bench.ablation_dead_link_removal", 1, kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "ablation_dead_link_removal", kSchema,
+      bench::run_metadata("ablation_dead_link_removal", "cycle", params));
 
   TextTable table;
   table.row()
@@ -63,13 +71,14 @@ int main() {
           .cell(cycles == experiments::SelfHealingResult::kNever
                     ? "-"
                     : std::to_string(cycles));
+      const std::string spec_name = spec.name();
       for (std::size_t i = 0; i < r.dead_links.size(); ++i) {
-        csv.write_row({spec.name(), evict ? "1" : "0", std::to_string(i + 1),
-                       std::to_string(r.dead_links[i])});
+        trace.row({std::string_view(spec_name), evict, i + 1,
+                   static_cast<std::uint64_t>(r.dead_links[i])});
       }
     }
   }
   table.print(std::cout);
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -10,7 +10,6 @@
 #include <set>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/reporting.hpp"
 #include "pss/graph/metrics.hpp"
@@ -28,8 +27,16 @@ int main() {
       std::cout, "Ablation A4 — degeneracies of the excluded variants",
       "Jelasity et al., Middleware 2004, Section 4.3", params);
 
-  CsvSink csv("ablation_excluded_variants");
-  csv.write_row({"protocol", "metric", "value"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"metric", obs::FieldType::kStr},
+      {"value", obs::FieldType::kF64},
+  };
+  static constexpr obs::MetricSchema kSchema{
+      "pss.bench.ablation_excluded_variants", 1, kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "ablation_excluded_variants", kSchema,
+      bench::run_metadata("ablation_excluded_variants", "cycle", params));
 
   TextTable table;
   table.row()
@@ -68,12 +75,13 @@ int main() {
         .cell(static_cast<std::int64_t>(summary.max))
         .cell(std::sqrt(summary.variance), 2)
         .cell(format_double(100 * known_fraction, 1) + "%");
-    csv.write_row({spec.name(), "clustering", format_double(clustering, 5)});
-    csv.write_row({spec.name(), "max_degree", std::to_string(summary.max)});
-    csv.write_row(
-        {spec.name(), "degree_stddev", format_double(std::sqrt(summary.variance), 3)});
-    csv.write_row(
-        {spec.name(), "latecomers_known", format_double(known_fraction, 4)});
+    const std::string spec_name = spec.name();
+    trace.row({std::string_view(spec_name), "clustering", clustering});
+    trace.row({std::string_view(spec_name), "max_degree",
+               static_cast<double>(summary.max)});
+    trace.row({std::string_view(spec_name), "degree_stddev",
+               std::sqrt(summary.variance)});
+    trace.row({std::string_view(spec_name), "latecomers_known", known_fraction});
   };
 
   // Healthy control first, then one representative of each degeneracy.
@@ -87,6 +95,6 @@ int main() {
                "far above the control; row 3 (tail view selection) leaves "
                "latecomers unknown; row 4 (pull) grows a hub (max degree and "
                "stddev explode).\n";
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -19,7 +19,6 @@
 #include <map>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/reporting.hpp"
 #include "pss/service/ideal_uniform_sampler.hpp"
@@ -40,9 +39,19 @@ int main() {
       "draws/cycle=" + std::to_string(draws_per_cycle) +
           " observe=" + std::to_string(observe_cycles) + " cycles");
 
-  CsvSink csv("ablation_getpeer");
-  csv.write_row({"strategy", "distinct_peers", "hit_cv", "chi_square", "p_value",
-                 "uniform_at_1pct"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"strategy", obs::FieldType::kStr},
+      {"distinct_peers", obs::FieldType::kU64},
+      {"hit_cv", obs::FieldType::kF64},
+      {"chi_square", obs::FieldType::kF64},
+      {"p_value", obs::FieldType::kF64},
+      {"uniform_at_1pct", obs::FieldType::kBool},
+  };
+  static constexpr obs::MetricSchema kSchema{"pss.bench.ablation_getpeer", 1,
+                                             kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "ablation_getpeer", kSchema,
+      bench::run_metadata("ablation_getpeer", "cycle", params));
 
   TextTable table;
   table.row()
@@ -78,11 +87,9 @@ int main() {
         .cell(report.chi_square, 1)
         .cell(report.p_value, 4)
         .cell(report.plausibly_uniform() ? "yes" : "NO");
-    csv.write_row({label, std::to_string(report.distinct),
-                   format_double(report.hit_cv, 4),
-                   format_double(report.chi_square, 2),
-                   format_double(report.p_value, 6),
-                   report.plausibly_uniform() ? "1" : "0"});
+    trace.row({std::string_view(label),
+               static_cast<std::uint64_t>(report.distinct), report.hit_cv,
+               report.chi_square, report.p_value, report.plausibly_uniform()});
     return samples.size();
   };
 
@@ -107,15 +114,13 @@ int main() {
       .cell(report.chi_square, 1)
       .cell(report.p_value, 4)
       .cell(report.plausibly_uniform() ? "yes" : "NO");
-  csv.write_row({"ideal", std::to_string(report.distinct),
-                 format_double(report.hit_cv, 4),
-                 format_double(report.chi_square, 2),
-                 format_double(report.p_value, 6),
-                 report.plausibly_uniform() ? "1" : "0"});
+  trace.row({"ideal", static_cast<std::uint64_t>(report.distinct),
+             report.hit_cv, report.chi_square, report.p_value,
+             report.plausibly_uniform()});
 
   table.print(std::cout);
   std::cout << "\n(CV computed over ALL nodes, counting never-sampled nodes "
                "as zero hits; smaller = closer to uniform)\n";
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

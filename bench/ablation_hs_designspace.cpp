@@ -12,7 +12,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/reporting.hpp"
 #include "pss/sim/hs_overlay.hpp"
@@ -42,9 +41,19 @@ int main() {
       {"cyclon-like (tail, S=c/2)", {c, 0, c / 2, true, true}},
   };
 
-  CsvSink csv("ablation_hs_designspace");
-  csv.write_row({"config", "degree_mean", "degree_stddev", "dead_at_failure",
-                 "dead_after_heal_window", "connected"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"config", obs::FieldType::kStr},
+      {"degree_mean", obs::FieldType::kF64},
+      {"degree_stddev", obs::FieldType::kF64},
+      {"dead_at_failure", obs::FieldType::kU64},
+      {"dead_after_heal_window", obs::FieldType::kU64},
+      {"connected", obs::FieldType::kBool},
+  };
+  static constexpr obs::MetricSchema kSchema{
+      "pss.bench.ablation_hs_designspace", 1, kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "ablation_hs_designspace", kSchema,
+      bench::run_metadata("ablation_hs_designspace", "cycle", params));
 
   TextTable table;
   table.row()
@@ -73,9 +82,9 @@ int main() {
         .cell(static_cast<std::int64_t>(dead0))
         .cell(static_cast<std::int64_t>(dead1))
         .cell(connected ? "yes" : "NO");
-    csv.write_row({config.name, format_double(deg_mean, 3),
-                   format_double(deg_sd, 3), std::to_string(dead0),
-                   std::to_string(dead1), connected ? "1" : "0"});
+    trace.row({config.name, deg_mean, deg_sd,
+               static_cast<std::uint64_t>(dead0),
+               static_cast<std::uint64_t>(dead1), connected});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: healer's dead links collapse to ~0 within "
@@ -86,6 +95,6 @@ int main() {
                "degree balance but NOT its healing — real Cyclon also evicts "
                "the contacted descriptor on exchange/timeout, a mechanism "
                "outside the pure (H,S) space.\n";
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

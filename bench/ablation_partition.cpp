@@ -12,7 +12,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/dual_overlay.hpp"
 #include "pss/experiments/partition.hpp"
@@ -31,9 +30,18 @@ int main() {
 
   const std::vector<Cycle> split_durations = {5, 10, 20, 40};
 
-  CsvSink csv("ablation_partition");
-  csv.write_row({"protocol", "split_cycles", "cross_at_split", "cross_at_heal",
-                 "remerged"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"split_cycles", obs::FieldType::kU64},
+      {"cross_at_split", obs::FieldType::kU64},
+      {"cross_at_heal", obs::FieldType::kU64},
+      {"remerged", obs::FieldType::kBool},
+  };
+  static constexpr obs::MetricSchema kSchema{"pss.bench.ablation_partition", 1,
+                                             kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "ablation_partition", kSchema,
+      bench::run_metadata("ablation_partition", "cycle", params));
 
   TextTable table;
   table.row()
@@ -57,10 +65,11 @@ int main() {
           .cell(static_cast<std::int64_t>(r.cross_links_at_split))
           .cell(static_cast<std::int64_t>(r.cross_links_at_heal))
           .cell(r.remerged() ? "yes" : "NO");
-      csv.write_row({spec.name(), std::to_string(split),
-                     std::to_string(r.cross_links_at_split),
-                     std::to_string(r.cross_links_at_heal),
-                     r.remerged() ? "1" : "0"});
+      const std::string spec_name = spec.name();
+      trace.row({std::string_view(spec_name), static_cast<std::uint64_t>(split),
+                 static_cast<std::uint64_t>(r.cross_links_at_split),
+                 static_cast<std::uint64_t>(r.cross_links_at_heal),
+                 r.remerged()});
     }
   }
 
@@ -85,9 +94,9 @@ int main() {
         .cell(static_cast<std::int64_t>(cross_at_split))
         .cell(static_cast<std::int64_t>(cross_at_heal))
         .cell(remerged ? "yes" : "NO");
-    csv.write_row({"dual-view", std::to_string(split),
-                   std::to_string(cross_at_split), std::to_string(cross_at_heal),
-                   remerged ? "1" : "0"});
+    trace.row({"dual-view", static_cast<std::uint64_t>(split),
+               static_cast<std::uint64_t>(cross_at_split),
+               static_cast<std::uint64_t>(cross_at_heal), remerged});
   }
 
   table.print(std::cout);
@@ -95,6 +104,6 @@ int main() {
                "within a few cycles (long splits end in permanent partition); "
                "rand view selection and the dual-view combination retain "
                "memory and re-merge.\n";
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -11,7 +11,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/failure.hpp"
 #include "pss/experiments/reporting.hpp"
@@ -31,9 +30,20 @@ int main() {
       {PeerSelection::kRand, ViewSelection::kRand, ViewPropagation::kPushPull},
   };
 
-  CsvSink csv("ablation_view_size");
-  csv.write_row({"protocol", "c", "avg_degree", "clustering", "path_len",
-                 "components", "outside_largest_at_80pct"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"c", obs::FieldType::kU64},
+      {"avg_degree", obs::FieldType::kF64},
+      {"clustering", obs::FieldType::kF64},
+      {"path_len", obs::FieldType::kF64},
+      {"components", obs::FieldType::kU64},
+      {"outside_largest_at_80pct", obs::FieldType::kF64},
+  };
+  static constexpr obs::MetricSchema kSchema{"pss.bench.ablation_view_size", 1,
+                                             kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "ablation_view_size", kSchema,
+      bench::run_metadata("ablation_view_size", "cycle", base));
 
   TextTable table;
   table.row()
@@ -60,15 +70,14 @@ int main() {
           .cell(fin.path_length, 3)
           .cell(static_cast<std::int64_t>(fin.components))
           .cell(robustness[0].avg_outside_largest, 2);
-      csv.write_row({spec.name(), std::to_string(c),
-                     format_double(fin.avg_degree, 2),
-                     format_double(fin.clustering, 4),
-                     format_double(fin.path_length, 3),
-                     std::to_string(fin.components),
-                     format_double(robustness[0].avg_outside_largest, 2)});
+      const std::string spec_name = spec.name();
+      trace.row({std::string_view(spec_name), c, fin.avg_degree,
+                 fin.clustering, fin.path_length,
+                 static_cast<std::uint64_t>(fin.components),
+                 robustness[0].avg_outside_largest});
     }
   }
   table.print(std::cout);
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -1,0 +1,43 @@
+// Run-metadata helpers shared by ALL bench drivers — figure/table drivers
+// (via bench_util.hpp) and the scale drivers, which deliberately do not
+// link pss_experiments. Keep this header free of experiment/scenario
+// dependencies: protocol spec + obs metadata only.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "pss/obs/metric_sink.hpp"
+#include "pss/protocol/spec.hpp"
+
+namespace pss::bench {
+
+/// The wire id ps*9+vs*3+vp — the same encoding as
+/// transport::encode_protocol, computed locally so drivers do not link the
+/// transport layer (equality pinned by tests/metric_sink_test).
+inline std::int32_t protocol_wire_id(const ProtocolSpec& spec) {
+  return static_cast<std::int32_t>(spec.peer_selection) * 9 +
+         static_cast<std::int32_t>(spec.view_selection) * 3 +
+         static_cast<std::int32_t>(spec.view_propagation);
+}
+
+/// Run metadata from explicit knobs (the scale drivers parse their own
+/// environment instead of using ScenarioParams). `protocol` must outlive
+/// the sink's begin() / RunRecorder construction (see RunMetadata).
+inline obs::RunMetadata make_run_metadata(
+    std::string_view bench, std::string_view engine, std::string_view protocol,
+    std::int32_t protocol_id, std::size_t n, std::size_t view_size,
+    std::uint64_t cycles, std::uint64_t seed) {
+  obs::RunMetadata meta;
+  meta.bench = bench;
+  meta.engine = engine;
+  meta.protocol = protocol;
+  meta.protocol_id = protocol_id;
+  meta.n = n;
+  meta.view_size = view_size;
+  meta.cycles = cycles;
+  meta.seed = seed;
+  return meta;
+}
+
+}  // namespace pss::bench

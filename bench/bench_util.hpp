@@ -6,13 +6,25 @@
 // qualitative shape and a paper-scale mode enabled by PSS_FULL=1. All
 // parameters can be overridden individually:
 //   PSS_N, PSS_C, PSS_CYCLES, PSS_RUNS, PSS_SEED,
-//   PSS_PATH_SOURCES, PSS_CLUSTERING_SAMPLE, PSS_CSV_DIR.
+//   PSS_PATH_SOURCES, PSS_CLUSTERING_SAMPLE, PSS_CSV_DIR, PSS_TRACE_DIR.
+//
+// Recording goes through the metrics-export subsystem (pss/obs/): a
+// figure/table driver declares its row schema next to the emitting loop
+// and streams rows through a BenchTrace, which fans them out to a
+// schema-headered CSV (PSS_CSV_DIR) and a JSONL trace (PSS_TRACE_DIR —
+// the format scripts/render_report.py renders figures from). Scale
+// drivers write their BENCH_*.json via obs::RunRecorder instead.
 #pragma once
 
+#include <filesystem>
+#include <memory>
+#include <ostream>
 #include <string>
 
+#include "bench_meta.hpp"
 #include "pss/common/env.hpp"
 #include "pss/experiments/scenario.hpp"
+#include "pss/obs/sinks.hpp"
 
 namespace pss::bench {
 
@@ -41,5 +53,59 @@ inline experiments::ScenarioParams scaled_params(std::int64_t quick_n,
 inline std::size_t scaled_runs(std::int64_t quick, std::int64_t full = 100) {
   return static_cast<std::size_t>(env::scaled("PSS_RUNS", quick, full));
 }
+
+/// Run metadata for a bench's header. Protocol defaults to "-"/-1 (mixed):
+/// most figure traces carry the protocol as a per-row column instead.
+/// `protocol` must outlive the sink's begin() call (see RunMetadata).
+inline obs::RunMetadata run_metadata(std::string_view bench,
+                                     std::string_view engine,
+                                     const experiments::ScenarioParams& p,
+                                     std::string_view protocol = "-",
+                                     std::int32_t protocol_id = -1) {
+  return make_run_metadata(bench, engine, protocol, protocol_id, p.n,
+                           p.view_size, p.cycles, p.seed);
+}
+
+/// One figure/table driver's recording stream: a schema-headered CSV under
+/// PSS_CSV_DIR and a JSONL trace under PSS_TRACE_DIR, fanned out from one
+/// row call. Either directory being unset simply drops that backend; with
+/// neither set, rows are validated against the schema and discarded.
+class BenchTrace {
+ public:
+  BenchTrace(const std::string& name, const obs::MetricSchema& schema,
+             const obs::RunMetadata& meta) {
+    if (auto dir = env::get("PSS_CSV_DIR")) {
+      std::filesystem::create_directories(*dir);
+      csv_ = std::make_unique<obs::CsvMetricSink>(*dir + "/" + name + ".csv");
+      fan_.add(*csv_);
+    }
+    if (auto dir = env::get("PSS_TRACE_DIR")) {
+      std::filesystem::create_directories(*dir);
+      jsonl_ =
+          std::make_unique<obs::JsonlMetricSink>(*dir + "/" + name + ".jsonl");
+      fan_.add(*jsonl_);
+    }
+    fan_.begin(schema, meta);
+  }
+
+  void row(std::initializer_list<obs::MetricValue> values) { fan_.row(values); }
+
+  /// The fan-out, for handing to library recorders (print_series).
+  obs::MetricSink& sink() { return fan_; }
+
+  bool enabled() const { return fan_.count() > 0; }
+
+  /// Closes both files and prints where they went.
+  void finish(std::ostream& os) {
+    fan_.finish();
+    if (csv_) os << "csv: " << csv_->path() << "\n";
+    if (jsonl_) os << "trace: " << jsonl_->path() << "\n";
+  }
+
+ private:
+  std::unique_ptr<obs::CsvMetricSink> csv_;
+  std::unique_ptr<obs::JsonlMetricSink> jsonl_;
+  obs::FanOutSink fan_;
+};
 
 }  // namespace pss::bench

@@ -11,8 +11,8 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/experiments/reporting.hpp"
+#include "pss/obs/schemas.hpp"
 
 int main() {
   using namespace pss;
@@ -41,11 +41,13 @@ int main() {
       {PeerSelection::kTail, ViewSelection::kHead, ViewPropagation::kPushPull},
   };
 
-  CsvSink csv("fig2_growing");
+  bench::BenchTrace trace("fig2_growing", obs::schemas::kSeries,
+                          bench::run_metadata("fig2_growing", "cycle", params));
   for (const auto& spec : specs) {
     const auto result = experiments::run_growing_scenario(spec, params);
-    experiments::print_series(std::cout, spec.name(), result.series, &csv);
+    experiments::print_series(std::cout, spec.name(), result.series,
+                              &trace.sink());
   }
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -11,8 +11,8 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/experiments/reporting.hpp"
+#include "pss/obs/schemas.hpp"
 
 int main() {
   using namespace pss;
@@ -30,7 +30,9 @@ int main() {
             << " clustering=" << format_double(baseline.clustering, 4)
             << " path_len=" << format_double(baseline.path_length, 3) << "\n\n";
 
-  CsvSink csv("fig3_convergence");
+  bench::BenchTrace trace(
+      "fig3_convergence", obs::schemas::kSeries,
+      bench::run_metadata("fig3_convergence", "cycle", params));
   for (const char* scenario : {"lattice", "random"}) {
     std::cout << "--- initial topology: " << scenario << " ---\n\n";
     for (const auto& spec : ProtocolSpec::evaluated()) {
@@ -39,9 +41,9 @@ int main() {
                               : experiments::run_random_scenario(spec, params);
       experiments::print_series(std::cout,
                                 std::string(scenario) + " " + spec.name(),
-                                result.series, &csv);
+                                result.series, &trace.sink());
     }
   }
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

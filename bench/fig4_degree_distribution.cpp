@@ -16,7 +16,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/experiments/reporting.hpp"
 #include "pss/graph/metrics.hpp"
 #include "pss/graph/undirected_graph.hpp"
@@ -41,8 +40,17 @@ int main() {
   snapshots.erase(std::unique(snapshots.begin(), snapshots.end()),
                   snapshots.end());
 
-  CsvSink csv("fig4_degree_distribution");
-  csv.write_row({"protocol", "cycle", "degree", "count"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"cycle", obs::FieldType::kU64},
+      {"degree", obs::FieldType::kU64},
+      {"count", obs::FieldType::kU64},
+  };
+  static constexpr obs::MetricSchema kSchema{
+      "pss.bench.fig4_degree_distribution", 1, kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "fig4_degree_distribution", kSchema,
+      bench::run_metadata("fig4_degree_distribution", "cycle", params));
 
   obs::GraphCensus census;  // scratch reused across protocols and snapshots
   for (const auto& spec : ProtocolSpec::evaluated()) {
@@ -75,13 +83,16 @@ int main() {
                         "  cycle " + std::to_string(snapshot) + "  (mean=" +
                             format_double(mean, 1) + " max=" +
                             std::to_string(max_degree) + ")");
+      const std::string spec_name = spec.name();
       for (const auto& [degree, count] : hist.points()) {
-        csv.write_row({spec.name(), std::to_string(snapshot),
-                       std::to_string(degree), std::to_string(count)});
+        trace.row({std::string_view(spec_name),
+                   static_cast<std::uint64_t>(snapshot),
+                   static_cast<std::uint64_t>(degree),
+                   static_cast<std::uint64_t>(count)});
       }
     }
     std::cout << "\n";
   }
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -10,7 +10,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/degree_trace.hpp"
 #include "pss/experiments/reporting.hpp"
@@ -41,24 +40,35 @@ int main() {
       ProtocolSpec::newscast(),
   };
 
-  CsvSink csv("fig5_autocorrelation");
-  csv.write_row({"protocol", "lag", "autocorrelation"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"lag", obs::FieldType::kU64},
+      {"autocorrelation", obs::FieldType::kF64},
+  };
+  static constexpr obs::MetricSchema kSchema{
+      "pss.bench.fig5_autocorrelation", 1, kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "fig5_autocorrelation", kSchema,
+      bench::run_metadata("fig5_autocorrelation", "cycle", params));
 
   std::vector<std::vector<double>> curves;
   for (const auto& spec : specs) {
     // Trace a handful of nodes and use the first one, as in the paper; the
     // remaining traces feed the excess-fraction summary.
-    const auto trace = experiments::run_degree_trace(spec, params, 5, trace_cycles);
-    curves.push_back(stats::autocorrelation(trace.series[0], max_lag));
+    const auto degree_trace =
+        experiments::run_degree_trace(spec, params, 5, trace_cycles);
+    curves.push_back(stats::autocorrelation(degree_trace.series[0], max_lag));
     double excess = 0;
-    for (const auto& series : trace.series)
+    for (const auto& series : degree_trace.series)
       excess += stats::autocorrelation_excess_fraction(series, max_lag);
     std::cout << spec.name() << ": fraction of lags outside the 99% band = "
-              << format_double(excess / static_cast<double>(trace.series.size()), 3)
+              << format_double(
+                     excess / static_cast<double>(degree_trace.series.size()),
+                     3)
               << "\n";
+    const std::string spec_name = spec.name();
     for (std::size_t lag = 0; lag <= max_lag; ++lag) {
-      csv.write_row({spec.name(), std::to_string(lag),
-                     format_double(curves.back()[lag], 5)});
+      trace.row({std::string_view(spec_name), lag, curves.back()[lag]});
     }
   }
 
@@ -72,6 +82,6 @@ int main() {
     for (const auto& curve : curves) row.cell(curve[lag], 3);
   }
   table.print(std::cout);
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -11,7 +11,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/failure.hpp"
 #include "pss/experiments/reporting.hpp"
@@ -31,9 +30,17 @@ int main() {
   const std::vector<double> fractions = {0.65, 0.70, 0.75, 0.80,
                                          0.85, 0.90, 0.95};
 
-  CsvSink csv("fig6_robustness");
-  csv.write_row({"protocol", "removed_fraction", "avg_outside_largest",
-                 "partitioned_fraction"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"removed_fraction", obs::FieldType::kF64},
+      {"avg_outside_largest", obs::FieldType::kF64},
+      {"partitioned_fraction", obs::FieldType::kF64},
+  };
+  static constexpr obs::MetricSchema kSchema{"pss.bench.fig6_robustness", 1,
+                                             kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "fig6_robustness", kSchema,
+      bench::run_metadata("fig6_robustness", "cycle", params));
 
   TextTable table;
   auto& header = table.row().cell("removed");
@@ -47,10 +54,10 @@ int main() {
     engine.run(params.cycles);
     results.push_back(experiments::run_static_robustness(
         network, fractions, trials, params.seed ^ 0xF16ULL));
+    const std::string spec_name = spec.name();
     for (const auto& point : results.back()) {
-      csv.write_row({spec.name(), format_double(point.removed_fraction, 2),
-                     format_double(point.avg_outside_largest, 3),
-                     format_double(point.partitioned_fraction, 3)});
+      trace.row({std::string_view(spec_name), point.removed_fraction,
+                 point.avg_outside_largest, point.partitioned_fraction});
     }
   }
   for (std::size_t f = 0; f < fractions.size(); ++f) {
@@ -63,6 +70,6 @@ int main() {
                "connected cluster)\n";
   std::cout << "expected shape (paper): ~0 below 70% removal, then a steep "
                "but small-valued rise; consistent across all protocols.\n";
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -11,7 +11,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/failure.hpp"
 #include "pss/experiments/reporting.hpp"
@@ -28,17 +27,26 @@ int main() {
       "failure at cycle " + std::to_string(params.cycles) + ", observed for " +
           std::to_string(extra_cycles) + " further cycles");
 
-  CsvSink csv("fig7_selfhealing");
-  csv.write_row({"protocol", "cycles_after_failure", "dead_links"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"cycles_after_failure", obs::FieldType::kU64},
+      {"dead_links", obs::FieldType::kU64},
+  };
+  static constexpr obs::MetricSchema kSchema{"pss.bench.fig7_selfhealing", 1,
+                                             kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "fig7_selfhealing", kSchema,
+      bench::run_metadata("fig7_selfhealing", "cycle", params));
 
   std::vector<experiments::SelfHealingResult> results;
   for (const auto& spec : ProtocolSpec::evaluated()) {
     results.push_back(
         experiments::run_self_healing(spec, params, extra_cycles, 0.5));
     const auto& r = results.back();
+    const std::string spec_name = spec.name();
     for (std::size_t i = 0; i < r.dead_links.size(); ++i) {
-      csv.write_row({spec.name(), std::to_string(i + 1),
-                     std::to_string(r.dead_links[i])});
+      trace.row({std::string_view(spec_name), i + 1,
+                 static_cast<std::uint64_t>(r.dead_links[i])});
     }
   }
 
@@ -73,6 +81,6 @@ int main() {
                   : std::to_string(cycles));
   }
   summary.print(std::cout);
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -44,13 +44,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <new>
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "pss/common/env.hpp"
 #include "pss/membership/simd.hpp"
+#include "pss/obs/run_recorder.hpp"
 #include "pss/scenarios/digest.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/event_engine.hpp"
@@ -356,53 +357,51 @@ int main() {
     }
   }
 
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  const std::string spec_name = spec.name();
+  obs::RunRecorder rec(
+      "scale_async", 1,
+      bench::make_run_metadata("scale_async", "event", spec_name,
+                               bench::protocol_wire_id(spec), sizes.back(), c,
+                               periods, seed));
+  rec.json().key("params");
+  rec.json().begin_object();
+  rec.json().field("periods", static_cast<std::uint64_t>(periods));
+  rec.json().field("warmup_periods", static_cast<std::uint64_t>(warmup));
+  rec.json().field("drop_probability", drop);
+  rec.json().field("simd_detected", level_name(simd::detected_level()));
+  rec.json().end_object();
+  rec.json().key("runs");
+  rec.json().begin_array();
+  for (const RunResult& r : results) {
+    rec.json().begin_object();
+    rec.json().field("n", static_cast<std::uint64_t>(r.n));
+    rec.json().field("engine", r.engine);
+    rec.json().field("kernel", r.kernel);
+    rec.json().field("threads", r.threads);
+    rec.json().field("setup_seconds", r.setup_seconds);
+    rec.json().field("run_seconds", r.run_seconds);
+    rec.json().field("events", r.events);
+    rec.json().field("events_per_second", r.events_per_second);
+    rec.json().field("steady_allocations", r.steady_allocations);
+    rec.json().field("bytes_per_node", r.bytes_per_node);
+    rec.json().field("mean_view_size", r.mean_view_size);
+    rec.json().field("windows", r.windows);
+    rec.json().field("deferred_tasks", r.deferred_tasks);
+    rec.json().field("pooled_tasks", r.pooled_tasks);
+    rec.json().field("wakeups", r.stats.wakeups);
+    rec.json().field("messages_sent", r.stats.messages_sent);
+    rec.json().field("messages_dropped", r.stats.messages_dropped);
+    rec.json().field("replies_delivered", r.stats.replies_delivered);
+    rec.json().field("replies_stale", r.stats.replies_stale);
+    rec.json().field("digest", obs::to_hex16(r.digest));
+    rec.json().end_object();
+  }
+  rec.json().end_array();
+  rec.gate("digest", digest_ok);
+  if (!rec.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  json << "{\n"
-       << "  \"bench\": \"scale_async\",\n"
-       << "  \"spec\": \"" << spec.name() << "\",\n"
-       << "  \"view_size\": " << c << ",\n"
-       << "  \"periods\": " << periods << ",\n"
-       << "  \"warmup_periods\": " << warmup << ",\n"
-       << "  \"drop_probability\": " << drop << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"simd_detected\": \"" << level_name(simd::detected_level())
-       << "\",\n"
-       << "  \"digest_ok\": " << (digest_ok ? "true" : "false") << ",\n"
-       << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    char digest_hex[32];
-    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
-                  static_cast<unsigned long long>(r.digest));
-    json << "    {\n"
-         << "      \"n\": " << r.n << ",\n"
-         << "      \"engine\": \"" << r.engine << "\",\n"
-         << "      \"kernel\": \"" << r.kernel << "\",\n"
-         << "      \"threads\": " << r.threads << ",\n"
-         << "      \"setup_seconds\": " << r.setup_seconds << ",\n"
-         << "      \"run_seconds\": " << r.run_seconds << ",\n"
-         << "      \"events\": " << r.events << ",\n"
-         << "      \"events_per_second\": " << r.events_per_second << ",\n"
-         << "      \"steady_allocations\": " << r.steady_allocations << ",\n"
-         << "      \"bytes_per_node\": " << r.bytes_per_node << ",\n"
-         << "      \"mean_view_size\": " << r.mean_view_size << ",\n"
-         << "      \"windows\": " << r.windows << ",\n"
-         << "      \"deferred_tasks\": " << r.deferred_tasks << ",\n"
-         << "      \"pooled_tasks\": " << r.pooled_tasks << ",\n"
-         << "      \"wakeups\": " << r.stats.wakeups << ",\n"
-         << "      \"messages_sent\": " << r.stats.messages_sent << ",\n"
-         << "      \"messages_dropped\": " << r.stats.messages_dropped << ",\n"
-         << "      \"replies_delivered\": " << r.stats.replies_delivered
-         << ",\n"
-         << "      \"replies_stale\": " << r.stats.replies_stale << ",\n"
-         << "      \"digest\": \"" << digest_hex << "\"\n"
-         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
   if (!digest_ok) {
     std::fprintf(stderr, "digest gate FAILED\n");

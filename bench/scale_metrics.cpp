@@ -34,15 +34,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <new>
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "pss/common/env.hpp"
 #include "pss/graph/metrics.hpp"
 #include "pss/graph/undirected_graph.hpp"
+#include "pss/obs/run_recorder.hpp"
+#include "pss/obs/sinks.hpp"
 #include "pss/obs/streaming_observer.hpp"
+#include "pss/scenarios/digest.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/cycle_engine.hpp"
 #include "pss/sim/network.hpp"
@@ -322,61 +325,131 @@ int main() {
     results.push_back(r);
   }
 
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  // Differential: a sink-attached run must be digest-identical to the
+  // sink-free run above — attaching a recorder cannot perturb the
+  // simulation. Re-runs the smallest ladder size with a RingBufferSink on
+  // the observer and compares full-state digests.
+  std::uint64_t digest_plain = 0;
+  std::uint64_t digest_sinked = 0;
+  std::uint64_t sink_rows = 0;
+  std::uint64_t plain_snapshots = 0;
+  {
+    const std::size_t n = sizes.front();
+    obs::ObserverConfig ocfg;
+    ocfg.clustering_sample = clustering_sample;
+    ocfg.path_sources = path_sources;
+    ocfg.reserve_records = cycles + 1;
+
+    const auto run_once = [&](obs::MetricSink* sink,
+                              std::uint64_t* snapshots_out) {
+      sim::Network net(spec, ProtocolOptions{c, false}, seed);
+      net.reserve_nodes(n);
+      net.add_nodes(n);
+      sim::bootstrap::init_random(net);
+      obs::StreamingObserver observer(ocfg);
+      if (sink) {
+        const std::string spec_name = spec.name();
+        observer.attach_sink(
+            *sink, bench::make_run_metadata("scale_metrics", "cycle",
+                                            spec_name,
+                                            bench::protocol_wire_id(spec), n,
+                                            c, cycles, seed));
+      }
+      sim::CycleEngine engine(net);
+      engine.attach_probe(observer);
+      engine.run(cycles);
+      if (snapshots_out) *snapshots_out = observer.records().size();
+      return scenarios::state_digest(net);
+    };
+
+    digest_plain = run_once(nullptr, &plain_snapshots);
+    obs::RingBufferSink ring(cycles + 1);
+    digest_sinked = run_once(&ring, nullptr);
+    sink_rows = ring.total_appended();
+  }
+  const bool sink_differential_ok =
+      digest_plain == digest_sinked && sink_rows == plain_snapshots;
+  if (!sink_differential_ok) {
+    std::fprintf(stderr,
+                 "FATAL: sink-attached run diverged (plain=%s sinked=%s "
+                 "rows=%llu)\n",
+                 obs::to_hex16(digest_plain).c_str(),
+                 obs::to_hex16(digest_sinked).c_str(),
+                 static_cast<unsigned long long>(sink_rows));
+  }
+
+  const std::string spec_name = spec.name();
+  obs::RunRecorder rec(
+      "scale_metrics", 1,
+      bench::make_run_metadata("scale_metrics", "cycle", spec_name,
+                               bench::protocol_wire_id(spec), sizes.back(), c,
+                               cycles, seed));
+  rec.json().key("params");
+  rec.json().begin_object();
+  rec.json().field("clustering_sample",
+                   static_cast<std::uint64_t>(clustering_sample));
+  rec.json().field("path_sources", static_cast<std::uint64_t>(path_sources));
+  rec.json().field("exact_max", static_cast<std::uint64_t>(exact_max));
+  rec.json().end_object();
+  rec.json().key("runs");
+  rec.json().begin_array();
+  bool all_exact = true;
+  bool all_alloc_free = true;
+  for (const RunResult& r : results) {
+    const obs::SnapshotRecord& f = r.final_record;
+    rec.json().begin_object();
+    rec.json().field("n", static_cast<std::uint64_t>(r.n));
+    rec.json().field("setup_seconds", r.setup_seconds);
+    rec.json().field("run_seconds", r.run_seconds);
+    rec.json().field("snapshots", static_cast<std::uint64_t>(r.snapshots));
+    rec.json().field("snapshot_seconds", r.snapshot_seconds);
+    rec.json().field("steady_allocations", r.steady_allocations);
+    rec.json().field("census_bytes_per_node", r.census_bytes_per_node);
+    rec.json().field("exact_checked", r.exact_checked);
+    rec.json().field("exact_match", r.exact_match);
+    rec.json().key("final");
+    rec.json().begin_object();
+    rec.json().field("cycle", static_cast<std::uint64_t>(f.cycle));
+    rec.json().field("live", static_cast<std::uint64_t>(f.live));
+    rec.json().field("undirected_edges",
+                     static_cast<std::uint64_t>(f.undirected_edges));
+    rec.json().field("degree_min", static_cast<std::uint64_t>(f.degree.min));
+    rec.json().field("degree_max", static_cast<std::uint64_t>(f.degree.max));
+    rec.json().field("degree_mean", f.degree.mean);
+    rec.json().field("degree_variance", f.degree.variance);
+    rec.json().field("in_degree_mean", f.in_degree.mean);
+    rec.json().field("out_degree_mean", f.out_degree.mean);
+    rec.json().field("components",
+                     static_cast<std::uint64_t>(f.components.count));
+    rec.json().field("largest_component",
+                     static_cast<std::uint64_t>(f.components.largest));
+    rec.json().field("outside_largest",
+                     static_cast<std::uint64_t>(f.components.outside_largest));
+    rec.json().field("partitioned", f.components.count > 1);
+    rec.json().field("clustering", f.clustering);
+    rec.json().field("path_length", f.path.average);
+    rec.json().field("reachable_fraction", f.path.reachable_fraction);
+    rec.json().field("diameter", static_cast<std::uint64_t>(f.path.diameter));
+    rec.json().end_object();
+    rec.json().end_object();
+    all_exact = all_exact && (!r.exact_checked || r.exact_match);
+    all_alloc_free = all_alloc_free && r.steady_allocations == 0;
+  }
+  rec.json().end_array();
+  rec.json().key("differential");
+  rec.json().begin_object();
+  rec.json().field("n", static_cast<std::uint64_t>(sizes.front()));
+  rec.json().field("digest_plain", obs::to_hex16(digest_plain));
+  rec.json().field("digest_sinked", obs::to_hex16(digest_sinked));
+  rec.json().field("sink_rows", sink_rows);
+  rec.json().end_object();
+  rec.gate("exact_match", all_exact);
+  rec.gate("zero_steady_allocations", all_alloc_free);
+  rec.gate("sink_differential", sink_differential_ok);
+  if (!rec.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  json << "{\n"
-       << "  \"bench\": \"scale_metrics\",\n"
-       << "  \"spec\": \"" << spec.name() << "\",\n"
-       << "  \"view_size\": " << c << ",\n"
-       << "  \"cycles\": " << cycles << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"clustering_sample\": " << clustering_sample << ",\n"
-       << "  \"path_sources\": " << path_sources << ",\n"
-       << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    const obs::SnapshotRecord& f = r.final_record;
-    json << "    {\n"
-         << "      \"n\": " << r.n << ",\n"
-         << "      \"setup_seconds\": " << r.setup_seconds << ",\n"
-         << "      \"run_seconds\": " << r.run_seconds << ",\n"
-         << "      \"snapshots\": " << r.snapshots << ",\n"
-         << "      \"snapshot_seconds\": " << r.snapshot_seconds << ",\n"
-         << "      \"steady_allocations\": " << r.steady_allocations << ",\n"
-         << "      \"census_bytes_per_node\": " << r.census_bytes_per_node
-         << ",\n"
-         << "      \"exact_checked\": " << (r.exact_checked ? "true" : "false")
-         << ",\n"
-         << "      \"exact_match\": " << (r.exact_match ? "true" : "false")
-         << ",\n"
-         << "      \"final\": {\n"
-         << "        \"cycle\": " << f.cycle << ",\n"
-         << "        \"live\": " << f.live << ",\n"
-         << "        \"undirected_edges\": " << f.undirected_edges << ",\n"
-         << "        \"degree_min\": " << f.degree.min << ",\n"
-         << "        \"degree_max\": " << f.degree.max << ",\n"
-         << "        \"degree_mean\": " << f.degree.mean << ",\n"
-         << "        \"degree_variance\": " << f.degree.variance << ",\n"
-         << "        \"in_degree_mean\": " << f.in_degree.mean << ",\n"
-         << "        \"out_degree_mean\": " << f.out_degree.mean << ",\n"
-         << "        \"components\": " << f.components.count << ",\n"
-         << "        \"largest_component\": " << f.components.largest << ",\n"
-         << "        \"outside_largest\": " << f.components.outside_largest
-         << ",\n"
-         << "        \"partitioned\": "
-         << (f.components.count > 1 ? "true" : "false") << ",\n"
-         << "        \"clustering\": " << f.clustering << ",\n"
-         << "        \"path_length\": " << f.path.average << ",\n"
-         << "        \"reachable_fraction\": " << f.path.reachable_fraction
-         << ",\n"
-         << "        \"diameter\": " << f.path.diameter << "\n"
-         << "      }\n"
-         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return rec.gates_ok() ? 0 : 1;
 }

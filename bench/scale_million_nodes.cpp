@@ -18,11 +18,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "pss/common/env.hpp"
+#include "pss/obs/run_recorder.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/cycle_engine.hpp"
 #include "pss/sim/network.hpp"
@@ -136,35 +137,36 @@ int main() {
     results.push_back(r);
   }
 
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  const std::string spec_name = spec.name();
+  obs::RunRecorder rec(
+      "scale_million_nodes", 1,
+      bench::make_run_metadata("scale_million_nodes", "cycle", spec_name,
+                               bench::protocol_wire_id(spec), sizes.back(), c,
+                               cycles, seed));
+  rec.json().key("runs");
+  rec.json().begin_array();
+  bool all_exchanged = true;
+  for (const RunResult& r : results) {
+    rec.json().begin_object();
+    rec.json().field("n", static_cast<std::uint64_t>(r.n));
+    rec.json().field("setup_seconds", r.setup_seconds);
+    rec.json().field("run_seconds", r.run_seconds);
+    rec.json().field("cycles_per_second", r.cycles_per_second);
+    rec.json().field("exchanges_per_second", r.exchanges_per_second);
+    rec.json().field("bytes_per_node", r.bytes_per_node);
+    rec.json().field("mean_view_size", r.mean_view_size);
+    rec.json().field("exchanges", r.exchanges);
+    rec.json().field("failed_contacts", r.failed_contacts);
+    rec.json().field("empty_views", r.empty_views);
+    rec.json().end_object();
+    all_exchanged = all_exchanged && r.exchanges > 0;
+  }
+  rec.json().end_array();
+  rec.gate("exchanges_nonzero", all_exchanged);
+  if (!rec.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  json << "{\n"
-       << "  \"bench\": \"scale_million_nodes\",\n"
-       << "  \"spec\": \"" << spec.name() << "\",\n"
-       << "  \"view_size\": " << c << ",\n"
-       << "  \"cycles\": " << cycles << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    json << "    {\n"
-         << "      \"n\": " << r.n << ",\n"
-         << "      \"setup_seconds\": " << r.setup_seconds << ",\n"
-         << "      \"run_seconds\": " << r.run_seconds << ",\n"
-         << "      \"cycles_per_second\": " << r.cycles_per_second << ",\n"
-         << "      \"exchanges_per_second\": " << r.exchanges_per_second
-         << ",\n"
-         << "      \"bytes_per_node\": " << r.bytes_per_node << ",\n"
-         << "      \"mean_view_size\": " << r.mean_view_size << ",\n"
-         << "      \"exchanges\": " << r.exchanges << ",\n"
-         << "      \"failed_contacts\": " << r.failed_contacts << ",\n"
-         << "      \"empty_views\": " << r.empty_views << "\n"
-         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return rec.gates_ok() ? 0 : 1;
 }

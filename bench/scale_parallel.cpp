@@ -18,11 +18,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "pss/common/env.hpp"
+#include "pss/obs/run_recorder.hpp"
 #include "pss/scenarios/digest.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/cycle_engine.hpp"
@@ -181,35 +182,37 @@ int main() {
     }
   }
 
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  const std::string spec_name = spec.name();
+  obs::RunRecorder rec(
+      "scale_parallel", 1,
+      bench::make_run_metadata("scale_parallel", "parallel-cycle", spec_name,
+                               bench::protocol_wire_id(spec), sizes.back(), c,
+                               cycles, seed));
+  rec.json().key("runs");
+  rec.json().begin_array();
+  bool deterministic_ok = true;
+  for (const RunResult& r : results) {
+    rec.json().begin_object();
+    rec.json().field("mode", r.mode);
+    rec.json().field("n", static_cast<std::uint64_t>(r.n));
+    rec.json().field("threads", r.threads);
+    rec.json().field("run_seconds", r.run_seconds);
+    rec.json().field("exchanges_per_second", r.exchanges_per_second);
+    rec.json().field("speedup_vs_sequential", r.speedup);
+    rec.json().field("exchanges", r.exchanges);
+    rec.json().field("state_digest", obs::to_hex16(r.digest));
+    rec.json().field("matches_sequential", r.matches_sequential);
+    rec.json().end_object();
+    if (r.mode == "deterministic") {
+      deterministic_ok = deterministic_ok && r.matches_sequential;
+    }
+  }
+  rec.json().end_array();
+  rec.gate("deterministic_matches_sequential", deterministic_ok);
+  if (!rec.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  json << "{\n"
-       << "  \"bench\": \"scale_parallel\",\n"
-       << "  \"spec\": \"" << spec.name() << "\",\n"
-       << "  \"view_size\": " << c << ",\n"
-       << "  \"cycles\": " << cycles << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    json << "    {\n"
-         << "      \"mode\": \"" << r.mode << "\",\n"
-         << "      \"n\": " << r.n << ",\n"
-         << "      \"threads\": " << r.threads << ",\n"
-         << "      \"run_seconds\": " << r.run_seconds << ",\n"
-         << "      \"exchanges_per_second\": " << r.exchanges_per_second
-         << ",\n"
-         << "      \"speedup_vs_sequential\": " << r.speedup << ",\n"
-         << "      \"exchanges\": " << r.exchanges << ",\n"
-         << "      \"state_digest\": " << r.digest << ",\n"
-         << "      \"matches_sequential\": "
-         << (r.matches_sequential ? "true" : "false") << "\n"
-         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return rec.gates_ok() ? 0 : 1;
 }

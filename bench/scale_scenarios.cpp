@@ -31,12 +31,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "pss/common/env.hpp"
 #include "pss/obs/graph_census.hpp"
+#include "pss/obs/run_recorder.hpp"
 #include "pss/scenarios/adversary.hpp"
 #include "pss/scenarios/digest.hpp"
 #include "pss/scenarios/scenario_spec.hpp"
@@ -307,56 +308,60 @@ int main() {
   }
 
   // ---- JSON ---------------------------------------------------------------
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  const std::string spec_name = spec.name();
+  obs::RunRecorder rec(
+      "scale_scenarios", 1,
+      bench::make_run_metadata("scale_scenarios", "cycle", spec_name,
+                               bench::protocol_wire_id(spec), sizes.back(), c,
+                               cycles, seed));
+  rec.json().key("params");
+  rec.json().begin_object();
+  rec.json().field("differential_n", static_cast<std::uint64_t>(dn));
+  rec.json().end_object();
+  rec.json().key("differential");
+  rec.json().begin_array();
+  bool differential_ok = true;
+  for (const DiffCheck& d : diffs) {
+    rec.json().begin_object();
+    rec.json().field("check", d.check);
+    rec.json().field("plain_digest", obs::to_hex16(d.plain_digest));
+    rec.json().field("hooked_digest", obs::to_hex16(d.hooked_digest));
+    rec.json().field("matches", d.matches);
+    rec.json().end_object();
+    differential_ok = differential_ok && d.matches;
+  }
+  rec.json().end_array();
+  rec.json().key("runs");
+  rec.json().begin_array();
+  for (const ScanResult& r : results) {
+    rec.json().begin_object();
+    rec.json().field("scenario", r.scenario);
+    rec.json().field("n", static_cast<std::uint64_t>(r.n));
+    rec.json().field("run_seconds", r.run_seconds);
+    rec.json().field("exchanges", r.exchanges);
+    rec.json().field("live", static_cast<std::uint64_t>(r.live));
+    rec.json().field("joined", static_cast<std::uint64_t>(r.joined));
+    rec.json().field("left", static_cast<std::uint64_t>(r.left));
+    rec.json().field("mean_degree", r.mean_degree);
+    rec.json().field("max_degree", static_cast<std::uint64_t>(r.max_degree));
+    rec.json().field("components", static_cast<std::uint64_t>(r.components));
+    rec.json().field("outside_largest",
+                     static_cast<std::uint64_t>(r.outside_largest));
+    rec.json().field("dead_links", r.dead_links);
+    rec.json().field("cross_partition_links", r.cross_links);
+    rec.json().field("max_byzantine_in_degree", r.max_byzantine_in_degree);
+    rec.json().field("max_honest_in_degree", r.max_honest_in_degree);
+    rec.json().field("forged_messages", r.forged_messages);
+    rec.json().field("state_digest", obs::to_hex16(r.state_digest));
+    rec.json().field("census_digest", obs::to_hex16(r.census_digest));
+    rec.json().end_object();
+  }
+  rec.json().end_array();
+  rec.gate("differential", differential_ok);
+  if (!rec.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  json << "{\n"
-       << "  \"bench\": \"scale_scenarios\",\n"
-       << "  \"spec\": \"" << spec.name() << "\",\n"
-       << "  \"view_size\": " << c << ",\n"
-       << "  \"cycles\": " << cycles << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"differential_n\": " << dn << ",\n"
-       << "  \"differential_ok\": true,\n"
-       << "  \"differential\": [\n";
-  for (std::size_t i = 0; i < diffs.size(); ++i) {
-    const DiffCheck& d = diffs[i];
-    json << "    {\"check\": \"" << d.check
-         << "\", \"plain_digest\": " << d.plain_digest
-         << ", \"hooked_digest\": " << d.hooked_digest
-         << ", \"matches\": " << (d.matches ? "true" : "false") << "}"
-         << (i + 1 < diffs.size() ? "," : "") << "\n";
-  }
-  json << "  ],\n"
-       << "  \"runs\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const ScanResult& r = results[i];
-    json << "    {\n"
-         << "      \"scenario\": \"" << r.scenario << "\",\n"
-         << "      \"n\": " << r.n << ",\n"
-         << "      \"run_seconds\": " << r.run_seconds << ",\n"
-         << "      \"exchanges\": " << r.exchanges << ",\n"
-         << "      \"live\": " << r.live << ",\n"
-         << "      \"joined\": " << r.joined << ",\n"
-         << "      \"left\": " << r.left << ",\n"
-         << "      \"mean_degree\": " << r.mean_degree << ",\n"
-         << "      \"max_degree\": " << r.max_degree << ",\n"
-         << "      \"components\": " << r.components << ",\n"
-         << "      \"outside_largest\": " << r.outside_largest << ",\n"
-         << "      \"dead_links\": " << r.dead_links << ",\n"
-         << "      \"cross_partition_links\": " << r.cross_links << ",\n"
-         << "      \"max_byzantine_in_degree\": " << r.max_byzantine_in_degree
-         << ",\n"
-         << "      \"max_honest_in_degree\": " << r.max_honest_in_degree
-         << ",\n"
-         << "      \"forged_messages\": " << r.forged_messages << ",\n"
-         << "      \"state_digest\": " << r.state_digest << ",\n"
-         << "      \"census_digest\": " << r.census_digest << "\n"
-         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return rec.gates_ok() ? 0 : 1;
 }

@@ -27,13 +27,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "pss/common/env.hpp"
 #include "pss/common/rng.hpp"
+#include "pss/obs/run_recorder.hpp"
 #include "pss/scenarios/digest.hpp"
 #include "pss/sim/bootstrap.hpp"
 #include "pss/sim/event_engine.hpp"
@@ -334,61 +335,73 @@ int main() {
   }
 
   // ---- JSON ---------------------------------------------------------------
-  std::ofstream json(out_path);
-  if (!json) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+  const ProtocolSpec meta_spec = ProtocolSpec::newscast();
+  const std::string spec_name = meta_spec.name();
+  obs::RunRecorder rec(
+      "scale_transport", 1,
+      bench::make_run_metadata("scale_transport", "service", spec_name,
+                               bench::protocol_wire_id(meta_spec),
+                               sizes.back(), c, cycles, seed));
+  rec.json().key("params");
+  rec.json().begin_object();
+  rec.json().field("differential_n", static_cast<std::uint64_t>(dn));
+  rec.json().field("udp_cycles", static_cast<std::uint64_t>(udp_cycles));
+  rec.json().end_object();
+  rec.json().key("differential");
+  rec.json().begin_array();
+  bool differential_ok = true;
+  for (const DiffCheck& d : diffs) {
+    rec.json().begin_object();
+    rec.json().field("check", d.check);
+    rec.json().field("engine_digest", obs::to_hex16(d.engine_digest));
+    rec.json().field("transport_digest", obs::to_hex16(d.transport_digest));
+    rec.json().field("matches", d.matches);
+    rec.json().end_object();
+    differential_ok = differential_ok && d.matches;
+  }
+  rec.json().end_array();
+  rec.json().key("loopback");
+  rec.json().begin_array();
+  for (const LoopbackRow& r : loopback_rows) {
+    rec.json().begin_object();
+    rec.json().field("n", static_cast<std::uint64_t>(r.n));
+    rec.json().field("exchanges", r.exchanges);
+    rec.json().field("engine_seconds", r.engine_seconds);
+    rec.json().field("transport_seconds", r.transport_seconds);
+    rec.json().field("engine_exchanges_per_s",
+                     r.exchanges / std::max(r.engine_seconds, 1e-9));
+    rec.json().field("transport_exchanges_per_s",
+                     r.exchanges / std::max(r.transport_seconds, 1e-9));
+    rec.json().field("state_digest", obs::to_hex16(r.state_digest));
+    rec.json().end_object();
+  }
+  rec.json().end_array();
+  rec.json().key("udp");
+  rec.json().begin_array();
+  for (const UdpRow& r : udp_rows) {
+    rec.json().begin_object();
+    rec.json().field("n", static_cast<std::uint64_t>(r.n));
+    rec.json().field("sockets", static_cast<std::uint64_t>(r.sockets));
+    rec.json().field("run_seconds", r.run_seconds);
+    rec.json().field("requests", r.requests);
+    rec.json().field("replies", r.replies);
+    rec.json().field("exchanges_per_s",
+                     r.requests / std::max(r.run_seconds, 1e-9));
+    rec.json().field(
+        "delivery_ratio",
+        r.requests ? static_cast<double>(r.replies) / r.requests : 0.0);
+    rec.json().field("datagrams_sent", r.datagrams_sent);
+    rec.json().field("send_failures", r.send_failures);
+    rec.json().field("oversized_dropped", r.oversized);
+    rec.json().field("frames_rejected", r.rejected);
+    rec.json().end_object();
+  }
+  rec.json().end_array();
+  rec.gate("differential", differential_ok);
+  if (!rec.write(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  json << "{\n"
-       << "  \"bench\": \"scale_transport\",\n"
-       << "  \"view_size\": " << c << ",\n"
-       << "  \"cycles\": " << cycles << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"differential_n\": " << dn << ",\n"
-       << "  \"differential_ok\": true,\n"
-       << "  \"differential\": [\n";
-  for (std::size_t i = 0; i < diffs.size(); ++i) {
-    const DiffCheck& d = diffs[i];
-    json << "    {\"check\": \"" << d.check
-         << "\", \"engine_digest\": " << d.engine_digest
-         << ", \"transport_digest\": " << d.transport_digest
-         << ", \"matches\": " << (d.matches ? "true" : "false") << "}"
-         << (i + 1 < diffs.size() ? "," : "") << "\n";
-  }
-  json << "  ],\n"
-       << "  \"loopback\": [\n";
-  for (std::size_t i = 0; i < loopback_rows.size(); ++i) {
-    const LoopbackRow& r = loopback_rows[i];
-    json << "    {\"n\": " << r.n << ", \"exchanges\": " << r.exchanges
-         << ", \"engine_seconds\": " << r.engine_seconds
-         << ", \"transport_seconds\": " << r.transport_seconds
-         << ", \"engine_exchanges_per_s\": "
-         << r.exchanges / std::max(r.engine_seconds, 1e-9)
-         << ", \"transport_exchanges_per_s\": "
-         << r.exchanges / std::max(r.transport_seconds, 1e-9)
-         << ", \"state_digest\": " << r.state_digest << "}"
-         << (i + 1 < loopback_rows.size() ? "," : "") << "\n";
-  }
-  json << "  ],\n"
-       << "  \"udp\": [\n";
-  for (std::size_t i = 0; i < udp_rows.size(); ++i) {
-    const UdpRow& r = udp_rows[i];
-    json << "    {\"n\": " << r.n << ", \"sockets\": " << r.sockets
-         << ", \"cycles\": " << udp_cycles
-         << ", \"run_seconds\": " << r.run_seconds
-         << ", \"requests\": " << r.requests
-         << ", \"replies\": " << r.replies
-         << ", \"exchanges_per_s\": "
-         << r.requests / std::max(r.run_seconds, 1e-9)
-         << ", \"delivery_ratio\": "
-         << (r.requests ? static_cast<double>(r.replies) / r.requests : 0.0)
-         << ", \"datagrams_sent\": " << r.datagrams_sent
-         << ", \"send_failures\": " << r.send_failures
-         << ", \"oversized_dropped\": " << r.oversized
-         << ", \"frames_rejected\": " << r.rejected << "}"
-         << (i + 1 < udp_rows.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return rec.gates_ok() ? 0 : 1;
 }

@@ -12,7 +12,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/reporting.hpp"
 
@@ -42,9 +41,19 @@ int main() {
       {PeerSelection::kTail, ViewSelection::kHead, ViewPropagation::kPushPull},
   };
 
-  CsvSink csv("table1_partitioning");
-  csv.write_row({"protocol", "runs", "partitioned_runs", "partitioned_pct",
-                 "avg_clusters", "avg_largest"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"runs", obs::FieldType::kU64},
+      {"partitioned_runs", obs::FieldType::kU64},
+      {"partitioned_pct", obs::FieldType::kF64},
+      {"avg_clusters", obs::FieldType::kF64},
+      {"avg_largest", obs::FieldType::kF64},
+  };
+  static constexpr obs::MetricSchema kSchema{"pss.bench.table1_partitioning",
+                                             1, kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "table1_partitioning", kSchema,
+      bench::run_metadata("table1_partitioning", "cycle", params));
 
   TextTable table;
   table.row()
@@ -61,11 +70,12 @@ int main() {
                                          : "-")
         .cell(stats.partitioned_runs > 0 ? format_double(stats.avg_largest, 2)
                                          : "-");
-    csv.write_row({spec.name(), std::to_string(stats.runs),
-                   std::to_string(stats.partitioned_runs),
-                   format_double(100.0 * stats.partitioned_fraction(), 1),
-                   format_double(stats.avg_clusters, 2),
-                   format_double(stats.avg_largest, 2)});
+    const std::string spec_name = spec.name();
+    trace.row({std::string_view(spec_name),
+               static_cast<std::uint64_t>(stats.runs),
+               static_cast<std::uint64_t>(stats.partitioned_runs),
+               100.0 * stats.partitioned_fraction(), stats.avg_clusters,
+               stats.avg_largest});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape (paper): (rand,head,push) and "
@@ -73,6 +83,6 @@ int main() {
                "clusters; (rand,rand,push) partitions in a minority of runs "
                "into ~2 clusters; (tail,rand,push) rarely; pushpull variants "
                "never.\n";
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -19,7 +19,6 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/degree_trace.hpp"
 #include "pss/experiments/reporting.hpp"
@@ -37,8 +36,17 @@ int main() {
       "traced=" + std::to_string(traced) +
           " trace_cycles=" + std::to_string(trace_cycles));
 
-  CsvSink csv("table2_degree_stats");
-  csv.write_row({"protocol", "D_K", "d_bar", "sqrt_sigma"});
+  static constexpr obs::FieldSpec kFields[] = {
+      {"protocol", obs::FieldType::kStr},
+      {"D_K", obs::FieldType::kF64},
+      {"d_bar", obs::FieldType::kF64},
+      {"sqrt_sigma", obs::FieldType::kF64},
+  };
+  static constexpr obs::MetricSchema kSchema{"pss.bench.table2_degree_stats",
+                                             1, kFields, std::size(kFields)};
+  bench::BenchTrace trace(
+      "table2_degree_stats", kSchema,
+      bench::run_metadata("table2_degree_stats", "cycle", params));
 
   TextTable table;
   table.row().cell("protocol").cell("D_K").cell("d-bar").cell("sqrt(sigma)");
@@ -54,22 +62,23 @@ int main() {
       {PeerSelection::kTail, ViewSelection::kRand, ViewPropagation::kPushPull},
   };
   for (const auto& spec : specs) {
-    const auto trace =
+    const auto trace_result =
         experiments::run_degree_trace(spec, params, traced, trace_cycles);
     table.row()
         .cell(spec.name())
-        .cell(trace.final_avg_degree, 3)
-        .cell(trace.mean_of_node_means(), 3)
-        .cell(trace.stddev_of_node_means(), 3);
-    csv.write_row({spec.name(), format_double(trace.final_avg_degree, 3),
-                   format_double(trace.mean_of_node_means(), 3),
-                   format_double(trace.stddev_of_node_means(), 3)});
+        .cell(trace_result.final_avg_degree, 3)
+        .cell(trace_result.mean_of_node_means(), 3)
+        .cell(trace_result.stddev_of_node_means(), 3);
+    const std::string spec_name = spec.name();
+    trace.row({std::string_view(spec_name), trace_result.final_avg_degree,
+               trace_result.mean_of_node_means(),
+               trace_result.stddev_of_node_means()});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape (paper): d-bar tracks D_K for every "
                "protocol; sqrt(sigma) is ~1-3 under head view selection and "
                "~10-19 under rand view selection (scaled down with c at "
                "quick settings).\n";
-  if (csv.enabled()) std::cout << "csv: " << csv.path() << "\n";
+  trace.finish(std::cout);
   return 0;
 }

@@ -9,18 +9,30 @@
 //
 //   $ ./udp_gossip_daemon --id=1 --nodes=5 --port-base=17000 --cycles=15
 //
+// Live observability (the metrics-export subsystem, docs/METRICS.md):
+//   --metrics=PATH       stream one pss.transport.service_tick row per
+//                        tick to PATH as self-describing JSON-lines
+//                        (flushed per row, so the file is tailable);
+//   --metrics-ring=N     additionally keep the last N rows in a binary
+//                        ring buffer;
+//   --metrics-dump=PATH  write the ring's self-contained binary dump at
+//                        exit (requires --metrics-ring).
+//
 // Exits 0 only if the session actually gossiped (requests answered and
 // replies delivered) — scripts/udp_smoke.sh and CI gate on that.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "pss/common/rng.hpp"
+#include "pss/obs/sinks.hpp"
 #include "pss/transport/service_node.hpp"
 #include "pss/transport/udp_transport.hpp"
+#include "pss/transport/wire.hpp"
 
 namespace {
 
@@ -41,6 +53,16 @@ std::int64_t arg_int(int argc, char** argv, const std::string& key,
   return fallback;
 }
 
+std::string arg_str(int argc, char** argv, const std::string& key,
+                    const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,8 +77,16 @@ int main(int argc, char** argv) {
   const auto period_ms = arg_int(argc, argv, "period-ms", 40);
   const auto seed = static_cast<std::uint64_t>(arg_int(argc, argv, "seed", 42));
   const auto c = static_cast<std::size_t>(arg_int(argc, argv, "c", 8));
+  const std::string metrics_path = arg_str(argc, argv, "metrics", "");
+  const auto ring_capacity =
+      static_cast<std::size_t>(arg_int(argc, argv, "metrics-ring", 0));
+  const std::string dump_path = arg_str(argc, argv, "metrics-dump", "");
   if (id >= n) {
     std::fprintf(stderr, "--id=%u must be < --nodes=%zu\n", id, n);
+    return 2;
+  }
+  if (!dump_path.empty() && ring_capacity == 0) {
+    std::fprintf(stderr, "--metrics-dump requires --metrics-ring=N\n");
     return 2;
   }
 
@@ -65,8 +95,40 @@ int main(int argc, char** argv) {
       transport::UdpAddressBook::local_range(port_base, n, n);
   const transport::WireCodec codec(options.view_size);
   transport::UdpTransport socket(book, id, codec.max_frame_bytes());
-  transport::ServiceNode node(id, ProtocolSpec::newscast(), options,
-                              Rng(seed + id), socket);
+  const ProtocolSpec spec = ProtocolSpec::newscast();
+  transport::ServiceNode node(id, spec, options, Rng(seed + id), socket);
+
+  // Optional live metrics: JSONL stream, in-memory ring, or both fanned
+  // out from the node's single recording seam.
+  std::unique_ptr<obs::JsonlMetricSink> jsonl;
+  std::unique_ptr<obs::RingBufferSink> ring;
+  obs::FanOutSink fan;
+  if (!metrics_path.empty()) {
+    jsonl = std::make_unique<obs::JsonlMetricSink>(metrics_path);
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    fan.add(*jsonl);
+  }
+  if (ring_capacity > 0) {
+    ring = std::make_unique<obs::RingBufferSink>(ring_capacity);
+    fan.add(*ring);
+  }
+  const std::string spec_name = spec.name();
+  if (fan.count() > 0) {
+    obs::RunMetadata meta;
+    meta.bench = "udp_gossip_daemon";
+    meta.engine = "service";
+    meta.protocol = spec_name;
+    meta.protocol_id = transport::encode_protocol(spec);
+    meta.n = n;
+    meta.view_size = c;
+    meta.cycles = cycles;
+    meta.seed = seed;
+    node.attach_sink(fan, meta);
+  }
 
   std::vector<NodeId> contacts;
   for (NodeId peer = 0; peer < n; ++peer) {
@@ -109,6 +171,26 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.replies_stale),
       static_cast<unsigned long long>(s.frames_rejected),
       node.view().size());
+  if (jsonl) {
+    jsonl->finish();
+    if (!jsonl->ok()) {
+      std::fprintf(stderr, "daemon %u: metrics write to %s failed\n", id,
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("daemon %u: metrics written to %s\n", id, metrics_path.c_str());
+  }
+  if (ring && !dump_path.empty()) {
+    if (!ring->dump(dump_path)) {
+      std::fprintf(stderr, "daemon %u: ring dump to %s failed\n", id,
+                   dump_path.c_str());
+      return 1;
+    }
+    std::printf("daemon %u: ring dump (%zu of %llu rows) written to %s\n", id,
+                ring->size(),
+                static_cast<unsigned long long>(ring->total_appended()),
+                dump_path.c_str());
+  }
   const bool gossiped = s.requests_sent > 0 && s.replies_delivered > 0 &&
                         !node.view().empty();
   if (!gossiped) {

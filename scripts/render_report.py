@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Render a markdown report from recorded JSONL metric traces.
+
+The bench drivers record their figure data as self-describing JSON-lines
+files (set PSS_TRACE_DIR; see docs/METRICS.md): line 1 is a header object
+carrying the schema name/version, the typed field list, and the run
+metadata; every further line is one row. This script turns a directory of
+such traces into one markdown report reproducing the paper's evaluation
+figures (Jelasity et al., Middleware 2004):
+
+    Figure 2  — pss.experiments.series        (growing overlay convergence)
+    Figure 4  — pss.bench.fig4_degree_distribution
+    Figure 5  — pss.bench.fig5_autocorrelation
+    Figure 6  — pss.bench.fig6_robustness
+    Figure 7  — pss.bench.fig7_selfhealing
+    snapshots — pss.obs.snapshot              (any StreamingObserver trace)
+
+Versioning rule (src/obs/include/pss/obs/metric_sink.hpp): a known schema
+name with an unknown version is a hard error — this reader refuses to
+guess a column layout. A schema name it has never heard of degrades to a
+generic table, clearly marked as such.
+
+Usage:
+    python3 scripts/render_report.py TRACE_DIR [-o REPORT.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+class TraceError(Exception):
+    pass
+
+
+def load_trace(path):
+    """Returns (header, rows) for one JSONL trace file."""
+    with open(path, encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first.strip():
+            raise TraceError("empty file")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"bad header line: {exc}") from exc
+        if header.get("pss_metrics") != 1:
+            raise TraceError("not a pss-metrics JSONL file "
+                             "(missing pss_metrics=1 header)")
+        rows = []
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"line {lineno}: {exc}") from exc
+    return header, rows
+
+
+def spark(values, width=60):
+    """One-line ASCII chart of a numeric series (min..max normalized)."""
+    values = [v for v in values if isinstance(v, (int, float))]
+    if not values:
+        return "(no data)"
+    if len(values) > width:
+        # Downsample by bucket mean so long runs still fit one line.
+        step = len(values) / width
+        values = [
+            sum(values[int(i * step):max(int(i * step) + 1,
+                                         int((i + 1) * step))]) /
+            max(1, int((i + 1) * step) - int(i * step))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return SPARK_LEVELS[0] * len(values) + f"  (constant {lo:g})"
+    chars = [SPARK_LEVELS[int((v - lo) / (hi - lo) *
+                              (len(SPARK_LEVELS) - 1))] for v in values]
+    return "".join(chars) + f"  [{lo:g} .. {hi:g}]"
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def meta_block(header):
+    meta = header.get("meta", {})
+    schema = header.get("schema", {})
+    keys = ["bench", "engine", "protocol", "protocol_id", "n", "c",
+            "cycles", "seed", "git"]
+    pairs = " · ".join(f"{k}={meta.get(k)}" for k in keys if k in meta)
+    return (f"schema `{schema.get('name')}` v{schema.get('version')} — "
+            f"{pairs}\n")
+
+
+def by_protocol(rows):
+    groups = {}
+    for row in rows:
+        groups.setdefault(row.get("protocol", "-"), []).append(row)
+    return groups
+
+
+def table(out, fields, rows, limit=None):
+    out.append("| " + " | ".join(fields) + " |")
+    out.append("|" + "|".join("---" for _ in fields) + "|")
+    shown = rows if limit is None else rows[:limit]
+    for row in shown:
+        out.append("| " + " | ".join(fmt(row.get(f, "")) for f in fields) +
+                   " |")
+    if limit is not None and len(rows) > limit:
+        out.append(f"| … {len(rows) - limit} more rows … " +
+                   "|" * len(fields))
+    out.append("")
+
+
+def render_series(out, header, rows):
+    """Figure 2/3 style: per-protocol convergence of the overlay metrics."""
+    out.append(meta_block(header))
+    for protocol, series in sorted(by_protocol(rows).items()):
+        series.sort(key=lambda r: r.get("cycle", 0))
+        out.append(f"**{protocol}** ({len(series)} cycles)")
+        out.append("")
+        out.append("```")
+        for metric in ("avg_degree", "clustering", "path_length",
+                       "largest_component"):
+            if any(metric in r for r in series):
+                out.append(f"{metric:>18}  "
+                           f"{spark([r.get(metric) for r in series])}")
+        out.append("```")
+        final = series[-1]
+        out.append("")
+        out.append(f"final cycle {final.get('cycle')}: " + ", ".join(
+            f"{k}={fmt(final[k])}" for k in
+            ("live_nodes", "avg_degree", "clustering", "path_length",
+             "components", "dead_links") if k in final))
+        out.append("")
+
+
+def render_fig4(out, header, rows):
+    """Degree distribution histogram per protocol (log-tail table)."""
+    out.append(meta_block(header))
+    for protocol, hist in sorted(by_protocol(rows).items()):
+        counts = {}
+        for row in hist:
+            counts[row["degree"]] = counts.get(row["degree"], 0) + row["count"]
+        degrees = sorted(counts)
+        total = sum(counts.values())
+        out.append(f"**{protocol}** — {total} node-samples, degree range "
+                   f"[{degrees[0]}, {degrees[-1]}]")
+        out.append("")
+        out.append("```")
+        out.append("degree  " + spark([counts.get(d, 0)
+                                       for d in range(degrees[0],
+                                                      degrees[-1] + 1)]))
+        out.append("```")
+        out.append("")
+
+
+def render_fig5(out, header, rows):
+    """Autocorrelation of the degree time series, per protocol."""
+    out.append(meta_block(header))
+    for protocol, series in sorted(by_protocol(rows).items()):
+        series.sort(key=lambda r: r.get("lag", 0))
+        out.append(f"**{protocol}**")
+        out.append("")
+        out.append("```")
+        out.append("autocorr  " +
+                   spark([r.get("autocorrelation") for r in series]))
+        out.append("```")
+        out.append("")
+
+
+def render_fig6(out, header, rows):
+    out.append(meta_block(header))
+    fields = ["protocol", "removed_fraction", "avg_outside_largest",
+              "partitioned_fraction"]
+    table(out, fields, sorted(rows, key=lambda r: (r.get("protocol", ""),
+                                                   r.get("removed_fraction",
+                                                         0))))
+
+
+def render_fig7(out, header, rows):
+    out.append(meta_block(header))
+    for protocol, series in sorted(by_protocol(rows).items()):
+        series.sort(key=lambda r: r.get("cycles_after_failure", 0))
+        out.append(f"**{protocol}**")
+        out.append("")
+        out.append("```")
+        out.append("dead_links  " +
+                   spark([r.get("dead_links") for r in series]))
+        out.append("```")
+        healed = [r for r in series if r.get("dead_links") == 0]
+        if healed:
+            out.append(f"first fully-healed cycle: "
+                       f"{healed[0]['cycles_after_failure']}")
+        out.append("")
+
+
+def render_snapshot(out, header, rows):
+    out.append(meta_block(header))
+    out.append("```")
+    for metric in ("live", "degree_mean", "degree_variance", "clustering",
+                   "path_length", "dead_links", "components"):
+        if any(metric in r for r in rows):
+            out.append(f"{metric:>16}  {spark([r.get(metric) for r in rows])}")
+    out.append("```")
+    out.append("")
+
+
+def render_generic(out, header, rows):
+    out.append(meta_block(header))
+    out.append("_Unregistered schema — generic table render._")
+    out.append("")
+    fields = [f["name"] for f in header.get("fields", [])]
+    if fields and rows:
+        table(out, fields, rows, limit=40)
+
+
+# (title, renderer) per known schema name, keyed by supported version.
+RENDERERS = {
+    "pss.experiments.series": {1: ("Figure 2/3 — convergence of the overlay",
+                                   render_series)},
+    "pss.bench.fig4_degree_distribution": {
+        1: ("Figure 4 — degree distribution", render_fig4)},
+    "pss.bench.fig5_autocorrelation": {
+        1: ("Figure 5 — degree autocorrelation", render_fig5)},
+    "pss.bench.fig6_robustness": {
+        1: ("Figure 6 — robustness to node removal", render_fig6)},
+    "pss.bench.fig7_selfhealing": {
+        1: ("Figure 7 — self-healing after catastrophic failure",
+            render_fig7)},
+    "pss.obs.snapshot": {1: ("Streamed snapshots", render_snapshot)},
+}
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace_dir", help="directory of *.jsonl traces")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output markdown path (default stdout)")
+    args = parser.parse_args(argv[1:])
+
+    paths = sorted(
+        os.path.join(args.trace_dir, name)
+        for name in os.listdir(args.trace_dir) if name.endswith(".jsonl"))
+    if not paths:
+        print(f"render_report: no .jsonl traces in {args.trace_dir}",
+              file=sys.stderr)
+        return 1
+
+    out = ["# Peer sampling service — recorded evaluation report", ""]
+    failed = 0
+    for path in paths:
+        name = os.path.basename(path)
+        try:
+            header, rows = load_trace(path)
+        except TraceError as exc:
+            print(f"render_report: {name}: {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        schema = header.get("schema", {})
+        versions = RENDERERS.get(schema.get("name"))
+        if versions is not None and schema.get("version") not in versions:
+            print(f"render_report: {name}: schema {schema.get('name')} "
+                  f"version {schema.get('version')} not supported "
+                  f"(known: {sorted(versions)})", file=sys.stderr)
+            failed += 1
+            continue
+        if versions is None:
+            title, renderer = f"{schema.get('name')}", render_generic
+        else:
+            title, renderer = versions[schema["version"]]
+        out.append(f"## {title}")
+        out.append(f"_source: `{name}`, {len(rows)} rows_")
+        out.append("")
+        renderer(out, header, rows)
+
+    text = "\n".join(out) + "\n"
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"render_report: wrote {args.output} "
+              f"({len(paths) - failed}/{len(paths)} traces rendered)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

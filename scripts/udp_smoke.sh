@@ -16,11 +16,22 @@ PERIOD_MS=40
 
 echo "udp_smoke: port-base=${PORT_BASE} nodes=${NODES} cycles=${CYCLES}"
 
+METRICS_DIR=$(mktemp -d)
+trap 'rm -rf "${METRICS_DIR}"' EXIT
+
 pids=()
 for id in 1 2 3 4; do
+  extra=()
+  if [ "${id}" -eq 1 ]; then
+    # Daemon 1 also exercises the live metrics path: JSONL stream plus a
+    # ring buffer smaller than the run, dumped at exit.
+    extra=(--metrics="${METRICS_DIR}/daemon1.jsonl"
+           --metrics-ring=4
+           --metrics-dump="${METRICS_DIR}/daemon1.ring")
+  fi
   "${EXAMPLES_DIR}/udp_gossip_daemon" \
     --id="${id}" --nodes="${NODES}" --port-base="${PORT_BASE}" \
-    --cycles="${CYCLES}" --period-ms="${PERIOD_MS}" &
+    --cycles="${CYCLES}" --period-ms="${PERIOD_MS}" "${extra[@]}" &
   pids+=($!)
 done
 
@@ -40,4 +51,22 @@ if [ "${status}" -ne 0 ]; then
   echo "udp_smoke: FAILED" >&2
   exit 1
 fi
+
+# The metrics stream must be self-describing: line 1 carries the schema
+# name + version, and every tick produced one row (header + CYCLES lines).
+if ! head -1 "${METRICS_DIR}/daemon1.jsonl" \
+    | grep -q '"name":"pss.transport.service_tick","version":1'; then
+  echo "udp_smoke: FAILED (metrics JSONL missing schema header)" >&2
+  exit 1
+fi
+lines=$(wc -l < "${METRICS_DIR}/daemon1.jsonl")
+if [ "${lines}" -ne $((CYCLES + 1)) ]; then
+  echo "udp_smoke: FAILED (expected $((CYCLES + 1)) metrics lines, got ${lines})" >&2
+  exit 1
+fi
+if ! head -c 8 "${METRICS_DIR}/daemon1.ring" | grep -q 'PSSRING1'; then
+  echo "udp_smoke: FAILED (ring dump missing magic)" >&2
+  exit 1
+fi
+echo "udp_smoke: metrics ok (JSONL header + ${lines} lines, ring dump)"
 echo "udp_smoke: ok"

@@ -1,15 +1,15 @@
 // Shared output helpers for the bench harness: every bench prints a
-// parameter banner, paper-style aligned tables, and (optionally) CSV series
-// via PSS_CSV_DIR.
+// parameter banner, paper-style aligned tables, and (optionally) records
+// its series through a metrics sink (see pss/obs/metric_sink.hpp).
 #pragma once
 
 #include <ostream>
 #include <string>
 #include <vector>
 
-#include "pss/common/csv.hpp"
 #include "pss/common/table.hpp"
 #include "pss/experiments/scenario.hpp"
+#include "pss/obs/metric_sink.hpp"
 
 namespace pss::experiments {
 
@@ -19,9 +19,13 @@ void print_banner(std::ostream& os, const std::string& experiment,
                   const std::string& paper_ref, const ScenarioParams& params,
                   const std::string& extra = "");
 
-/// Prints a metric series as an aligned table and mirrors it to CSV.
+/// Prints a metric series as an aligned table and mirrors it to `sink`
+/// (one obs::schemas::kSeries row per sample; pass nullptr to skip). The
+/// sink must already be begun with the kSeries schema — several protocols'
+/// series usually share one stream, distinguished by the protocol column.
 void print_series(std::ostream& os, const std::string& protocol,
-                  const std::vector<MetricsSample>& series, CsvSink* csv);
+                  const std::vector<MetricsSample>& series,
+                  obs::MetricSink* sink);
 
 /// Properties of the uniform random-view baseline topology, measured on an
 /// actual random c-out graph with the same estimator settings (the

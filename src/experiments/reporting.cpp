@@ -3,6 +3,7 @@
 #include "pss/common/table.hpp"
 #include "pss/graph/metrics.hpp"
 #include "pss/graph/random_graph.hpp"
+#include "pss/obs/schemas.hpp"
 
 namespace pss::experiments {
 
@@ -26,7 +27,8 @@ void print_banner(std::ostream& os, const std::string& experiment,
 }
 
 void print_series(std::ostream& os, const std::string& protocol,
-                  const std::vector<MetricsSample>& series, CsvSink* csv) {
+                  const std::vector<MetricsSample>& series,
+                  obs::MetricSink* sink) {
   os << "protocol " << protocol << "\n";
   TextTable table;
   table.row()
@@ -38,11 +40,6 @@ void print_series(std::ostream& os, const std::string& protocol,
       .cell("components")
       .cell("largest")
       .cell("dead_links");
-  if (csv != nullptr) {
-    csv->write_row({"protocol", "cycle", "live", "avg_degree", "clustering",
-                    "path_len", "reachable", "components", "largest",
-                    "dead_links"});
-  }
   for (const auto& s : series) {
     table.row()
         .cell(static_cast<std::int64_t>(s.cycle))
@@ -53,14 +50,11 @@ void print_series(std::ostream& os, const std::string& protocol,
         .cell(static_cast<std::int64_t>(s.components))
         .cell(static_cast<std::int64_t>(s.largest_component))
         .cell(static_cast<std::int64_t>(s.dead_links));
-    if (csv != nullptr) {
-      csv->write_row({protocol, std::to_string(s.cycle),
-                      std::to_string(s.live_nodes), format_double(s.avg_degree, 4),
-                      format_double(s.clustering, 6), format_double(s.path_length, 4),
-                      format_double(s.reachable_fraction, 4),
-                      std::to_string(s.components),
-                      std::to_string(s.largest_component),
-                      std::to_string(s.dead_links)});
+    if (sink != nullptr) {
+      sink->row({std::string_view(protocol), s.cycle, s.live_nodes,
+                 s.avg_degree, s.clustering, s.path_length,
+                 s.reachable_fraction, s.components, s.largest_component,
+                 s.dead_links});
     }
   }
   table.print(os);

@@ -1,0 +1,81 @@
+// Minimal structural JSON writer shared by the metrics-export backends.
+//
+// One writer produces every piece of JSON the repo emits — the JSON-lines
+// sink's header and rows, the binary ring header, and the RunRecorder's
+// BENCH_*.json documents — so escaping and number formatting are defined
+// in exactly one place:
+//   - strings: standard JSON escaping (control characters as \u00XX);
+//   - integers: decimal via std::to_chars;
+//   - doubles: shortest round-trip representation via std::to_chars —
+//     a reader parsing the text recovers the bit-identical double, which
+//     is what makes recorded observables diffable;
+//   - non-finite doubles: emitted as null (JSON has no NaN/Inf).
+//
+// The writer appends to a caller-owned std::string and keeps a small
+// fixed-depth container stack for comma/indent bookkeeping; it never
+// allocates beyond that buffer, so steady-state row formatting inherits
+// the sink allocation contract from the buffer's capacity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pss/obs/metric_sink.hpp"
+
+namespace pss::obs {
+
+/// Appends `s` JSON-escaped (no surrounding quotes) to `out`.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Appends a number in its canonical text form (see header comment).
+void append_u64(std::string& out, std::uint64_t v);
+void append_i64(std::string& out, std::int64_t v);
+void append_f64(std::string& out, double v);
+
+class JsonWriter {
+ public:
+  /// `pretty` selects 2-space-indented multiline output (BENCH documents)
+  /// vs single-line compact output (JSONL headers and rows).
+  explicit JsonWriter(std::string& out, bool pretty)
+      : out_(&out), pretty_(pretty) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits an object key; must be directly inside an object.
+  void key(std::string_view k);
+
+  /// Emits one value (element or key's value) with canonical formatting.
+  void value(const MetricValue& v);
+  void value_string(std::string_view s);
+
+  /// key() + value() in one call.
+  void field(std::string_view k, const MetricValue& v) {
+    key(k);
+    value(v);
+  }
+
+  /// True once the top-level container has been closed.
+  bool complete() const { return depth_ == 0 && wrote_any_; }
+
+ private:
+  void before_item();  ///< comma/newline/indent before an element
+  void indent();
+
+  static constexpr std::size_t kMaxDepth = 16;
+  struct Frame {
+    bool is_object = false;
+    bool has_items = false;
+    bool pending_key = false;
+  };
+  std::string* out_;
+  bool pretty_;
+  bool wrote_any_ = false;
+  std::size_t depth_ = 0;
+  Frame stack_[kMaxDepth];
+};
+
+}  // namespace pss::obs

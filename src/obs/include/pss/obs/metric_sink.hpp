@@ -1,0 +1,159 @@
+// The metrics-export surface of the obs module: typed, self-describing
+// metric streams with pluggable backends.
+//
+// The paper's whole evaluation is recorded observables; this header makes
+// recording a first-class middleware mechanism instead of per-driver
+// plumbing. A MetricSink consumes one stream of fixed-schema rows:
+//
+//   sink.begin(schema, meta);        // once: emits the self-describing header
+//   sink.row({v0, v1, ...});         // any number of rows, schema-typed
+//   sink.finish();                   // close the stream (destructor calls it)
+//
+// The header makes every emitted file interpretable WITHOUT the code that
+// wrote it: schema name, schema version, the column names and types, and
+// the run metadata (seed, n, c, protocol, engine, git describe). Schema
+// versioning rule: any change to a schema's field list — name, order,
+// type, meaning — bumps its version; readers (scripts/check_bench.py,
+// scripts/render_report.py) refuse files whose version they do not know.
+//
+// Allocation contract (the GraphCensus discipline): begin() may allocate —
+// it sizes the row formatting buffer from the schema — but row() must not
+// allocate in steady state. A row whose formatted length exceeds every
+// previous row's may grow the buffer once (amortized geometric growth);
+// after that warm-up, firings are allocation-free. bench/scale_metrics
+// pins this with a whole-process operator-new counter.
+//
+// What a sink does with rows is backend policy (pss/obs/sinks.hpp: CSV,
+// JSON-lines, binary ring buffer, fan-out); what the schema means is the
+// producer's policy (pss/obs/schemas.hpp holds the canonical ones). The
+// mechanism here is deliberately dumb: no locking (single-writer, like
+// every engine seam in this repo), no buffering policy beyond the row
+// buffer, no clock — a row records what the producer passes, nothing more.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "pss/common/check.hpp"
+
+namespace pss::obs {
+
+/// Column value types. u64/i64/f64/bool8 cells occupy exactly 8 bytes in
+/// the binary ring encoding; str cells are hashed there (see sinks.hpp).
+enum class FieldType : std::uint8_t {
+  kU64 = 0,
+  kI64 = 1,
+  kF64 = 2,
+  kBool = 3,
+  kStr = 4,
+};
+
+/// Short stable type tag used in headers ("u64", "i64", "f64", "bool",
+/// "str").
+const char* field_type_name(FieldType type);
+
+struct FieldSpec {
+  const char* name;  ///< [a-z0-9_]+, stable across versions of a schema
+  FieldType type;
+};
+
+/// A versioned row layout. Instances are static constexpr arrays plus this
+/// view struct; schemas are identity, not configuration.
+struct MetricSchema {
+  const char* name;       ///< dotted, e.g. "pss.obs.snapshot"
+  std::uint32_t version;  ///< bumped on ANY field-list change
+  const FieldSpec* fields;
+  std::size_t field_count;
+};
+
+/// Run identity stamped into every header. Pointers/string_views must
+/// outlive the sink's begin() call only (the header is emitted eagerly).
+struct RunMetadata {
+  std::string_view bench;         ///< producing driver/tool name
+  std::string_view engine;        ///< "cycle", "event", "parallel_cycle",
+                                  ///< "parallel_event", "service", "mixed"
+  std::string_view protocol;      ///< spec name, "-" when per-row/mixed
+  std::int32_t protocol_id = -1;  ///< wire id ps*9+vs*3+vp, -1 when mixed
+  std::uint64_t n = 0;            ///< network size, 0 when per-row
+  std::uint64_t view_size = 0;    ///< c
+  std::uint64_t cycles = 0;       ///< configured horizon, 0 when n/a
+  std::uint64_t seed = 0;         ///< master seed
+  std::string_view git;           ///< `git describe` of the producing build
+};
+
+/// The `git describe --always --dirty` string baked into the obs library
+/// at configure time ("unknown" outside a git checkout).
+std::string_view build_git_describe();
+
+/// One typed cell. Implicitly constructible from the natural C++ types so
+/// call sites read as data: sink.row({cycle, live, mean, ok, name}).
+struct MetricValue {
+  FieldType type;
+  union {
+    std::uint64_t u;
+    std::int64_t i;
+    double f;
+    bool b;
+  };
+  std::string_view s;  ///< engaged when type == kStr
+
+  MetricValue(bool v) : type(FieldType::kBool), b(v) {}            // NOLINT
+  MetricValue(double v) : type(FieldType::kF64), f(v) {}           // NOLINT
+  MetricValue(std::string_view v) : type(FieldType::kStr), u(0), s(v) {}  // NOLINT
+  MetricValue(const char* v)                                       // NOLINT
+      : type(FieldType::kStr), u(0), s(v) {}
+  MetricValue(const std::string& v)                                // NOLINT
+      : type(FieldType::kStr), u(0), s(v) {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  MetricValue(T v) {  // NOLINT: implicit by design, see struct comment
+    if constexpr (std::is_signed_v<T>) {
+      type = FieldType::kI64;
+      i = static_cast<std::int64_t>(v);
+    } else {
+      type = FieldType::kU64;
+      u = static_cast<std::uint64_t>(v);
+    }
+  }
+};
+
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+
+  /// Emits the self-describing header. Must be called exactly once,
+  /// before any row; the schema pointer must outlive the sink.
+  virtual void begin(const MetricSchema& schema, const RunMetadata& meta) = 0;
+
+  /// Appends one row; `values` must match the schema's field count and
+  /// types exactly (checked — a schema mismatch is a bug, not data).
+  virtual void row(std::span<const MetricValue> values) = 0;
+
+  /// Initializer-list convenience over the span overload.
+  void row(std::initializer_list<MetricValue> values) {
+    row(std::span<const MetricValue>(values.begin(), values.size()));
+  }
+
+  /// Flushes and closes the stream; idempotent, called by destructors.
+  virtual void finish() = 0;
+
+ protected:
+  /// Shared row validation for backends.
+  static void check_row(const MetricSchema& schema,
+                        std::span<const MetricValue> values) {
+    PSS_CHECK_MSG(values.size() == schema.field_count,
+                  "row arity does not match the schema");
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      PSS_CHECK_MSG(values[c].type == schema.fields[c].type,
+                    "row cell type does not match the schema");
+    }
+  }
+};
+
+}  // namespace pss::obs

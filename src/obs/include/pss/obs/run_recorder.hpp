@@ -1,0 +1,76 @@
+// RunRecorder: the one way a bench driver writes its BENCH_*.json result
+// document.
+//
+// Every scale_* driver used to hand-roll its JSON with ofstream string
+// concatenation — seven slightly different envelopes, seven escaping
+// bugs waiting to happen, and nothing a validator could hold on to.
+// RunRecorder replaces that with a streamed document built on JsonWriter
+// that always carries the same self-describing envelope:
+//
+//   {
+//     "schema": {"name": "pss.bench.<bench>", "version": V},
+//     "meta":   { engine, protocol, protocol_id, n, c, cycles, seed, git },
+//     ... driver sections via json(): "params", "runs", "differential" ...
+//     "gates":    {"<gate>": true|false, ...},   // appended by write()
+//     "gates_ok": true|false
+//   }
+//
+// scripts/check_bench.py validates committed documents against this
+// envelope: known schema name + version, required keys, every gate true,
+// digest fields structurally consistent. Gates recorded through gate()
+// are therefore the driver's CI contract — record every pass/fail signal
+// through it, not through bespoke booleans in driver sections.
+//
+// Digests are recorded as 16-hex-digit strings (to_hex16) so a reader
+// never round-trips them through doubles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pss/obs/json_writer.hpp"
+#include "pss/obs/metric_sink.hpp"
+
+namespace pss::obs {
+
+/// "%016x" rendering of a 64-bit digest — the one digest text form.
+std::string to_hex16(std::uint64_t v);
+
+class RunRecorder {
+ public:
+  /// Opens the document and writes the schema + meta envelope. `bench`
+  /// becomes schema name "pss.bench.<bench>"; meta.git defaults to the
+  /// build's git describe when empty.
+  RunRecorder(std::string_view bench, std::uint32_t version,
+              const RunMetadata& meta);
+
+  /// The document writer, positioned inside the root object. Drivers add
+  /// their sections with it: json().key("params"); json().begin_object();…
+  JsonWriter& json() { return writer_; }
+
+  /// Records a named CI gate and passes the verdict through, so call
+  /// sites read: ok = rec.gate("digest", a == b) && ok;
+  bool gate(std::string_view name, bool ok);
+
+  /// True while every recorded gate has passed.
+  bool gates_ok() const;
+
+  /// Appends the gates section, closes the document and writes it to
+  /// `path`. Call once, after all driver sections. Returns false on I/O
+  /// failure (the document must be structurally complete — checked).
+  bool write(const std::string& path);
+
+  /// The finished document text (valid after write()).
+  const std::string& text() const { return out_; }
+
+ private:
+  std::string out_;
+  JsonWriter writer_;
+  std::vector<std::pair<std::string, bool>> gates_;
+  bool written_ = false;
+};
+
+}  // namespace pss::obs

@@ -1,0 +1,85 @@
+// Canonical metric schemas for the library-level producers.
+//
+// Schemas defined here are the ones emitted by reusable code paths — the
+// StreamingObserver's per-snapshot stream, the experiments layer's
+// MetricsSample series, and the ServiceNode's per-tick driver counters.
+// Bench drivers that record driver-specific tables (figure CSVs, scale
+// sweeps) define their own static schemas next to the emitting loop; a
+// schema lives with its single producer, and this header exists only for
+// schemas with more than one.
+//
+// Versioning rule (see metric_sink.hpp): ANY change to a field list —
+// name, order, type, meaning — bumps the schema's version, and the readers
+// (scripts/check_bench.py, scripts/render_report.py) refuse versions they
+// do not know. Appending a field is still a bump: a version identifies an
+// exact column layout, which is what lets the binary ring format get away
+// with storing no per-row structure at all.
+#pragma once
+
+#include "pss/obs/metric_sink.hpp"
+
+namespace pss::obs::schemas {
+
+// ---- pss.obs.snapshot: one StreamingObserver firing -------------------------
+
+inline constexpr FieldSpec kSnapshotFields[] = {
+    {"cycle", FieldType::kU64},
+    {"live", FieldType::kU64},
+    {"undirected_edges", FieldType::kU64},
+    {"dead_links", FieldType::kU64},
+    {"cross_partition_links", FieldType::kU64},
+    {"degree_min", FieldType::kU64},
+    {"degree_max", FieldType::kU64},
+    {"degree_mean", FieldType::kF64},
+    {"degree_variance", FieldType::kF64},
+    {"in_degree_variance", FieldType::kF64},
+    {"out_degree_variance", FieldType::kF64},
+    {"components", FieldType::kU64},
+    {"largest_component", FieldType::kU64},
+    {"outside_largest", FieldType::kU64},
+    {"clustering", FieldType::kF64},
+    {"path_length", FieldType::kF64},
+    {"reachable_fraction", FieldType::kF64},
+};
+
+inline constexpr MetricSchema kSnapshot{
+    "pss.obs.snapshot", 1, kSnapshotFields, std::size(kSnapshotFields)};
+
+// ---- pss.experiments.series: one MetricsSample of a scenario series ---------
+
+inline constexpr FieldSpec kSeriesFields[] = {
+    {"protocol", FieldType::kStr},
+    {"cycle", FieldType::kU64},
+    {"live_nodes", FieldType::kU64},
+    {"avg_degree", FieldType::kF64},
+    {"clustering", FieldType::kF64},
+    {"path_length", FieldType::kF64},
+    {"reachable_fraction", FieldType::kF64},
+    {"components", FieldType::kU64},
+    {"largest_component", FieldType::kU64},
+    {"dead_links", FieldType::kU64},
+};
+
+inline constexpr MetricSchema kSeries{
+    "pss.experiments.series", 1, kSeriesFields, std::size(kSeriesFields)};
+
+// ---- pss.transport.service_tick: one ServiceNode on_tick firing -------------
+
+inline constexpr FieldSpec kServiceTickFields[] = {
+    {"tick", FieldType::kU64},
+    {"now", FieldType::kF64},
+    {"view_size", FieldType::kU64},
+    {"wakeups", FieldType::kU64},
+    {"requests_sent", FieldType::kU64},
+    {"replies_delivered", FieldType::kU64},
+    {"replies_stale", FieldType::kU64},
+    {"frames_rejected", FieldType::kU64},
+    {"protocol_mismatches", FieldType::kU64},
+    {"misaddressed", FieldType::kU64},
+};
+
+inline constexpr MetricSchema kServiceTick{"pss.transport.service_tick", 1,
+                                           kServiceTickFields,
+                                           std::size(kServiceTickFields)};
+
+}  // namespace pss::obs::schemas

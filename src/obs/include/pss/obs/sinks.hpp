@@ -1,0 +1,189 @@
+// The pluggable MetricSink backends: CSV, JSON-lines, a fixed-size binary
+// ring buffer, and a fan-out combinator.
+//
+// Every backend emits the same self-describing header (schema name +
+// version, column names/types, run metadata) so a recorded file is
+// interpretable without the code that wrote it:
+//
+//   CSV     — `#`-prefixed header lines, then the column-name row, then
+//             one data row per line. Grep/pandas/gnuplot friendly.
+//   JSONL   — line 1 is one compact JSON header object; every further
+//             line is one row object keyed by field name. This is the
+//             format scripts/render_report.py renders figures from, and
+//             the live format: rows are flushed as written, so a running
+//             10^6-node experiment (or the UDP daemon) can be tailed.
+//   Ring    — a fixed-capacity in-memory ring of packed 8-byte cells for
+//             processes that must stay observable without unbounded disk
+//             growth (the daemon). Overflow overwrites the OLDEST rows
+//             and counts them as dropped; drain() empties oldest-first;
+//             dump() writes a self-contained binary file that embeds the
+//             JSONL header (see the layout in the class comment).
+//   FanOut  — forwards one stream to several sinks (live JSONL + ring).
+//
+// Allocation contract: begin() sizes each backend's row buffer; row()
+// reuses it (growing only when a row exceeds every previous row — see
+// metric_sink.hpp). File sinks report I/O health through ok(): writes
+// never throw; a failed stream records the failure and goes quiet, so a
+// full disk degrades observability, never the experiment.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pss/obs/metric_sink.hpp"
+
+namespace pss::obs {
+
+/// Schema-headered CSV file sink.
+class CsvMetricSink final : public MetricSink {
+ public:
+  explicit CsvMetricSink(std::string path);
+  ~CsvMetricSink() override;
+
+  void begin(const MetricSchema& schema, const RunMetadata& meta) override;
+  void row(std::span<const MetricValue> values) override;
+  using MetricSink::row;
+  void finish() override;
+
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void flush_buf();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::string buf_;
+  const MetricSchema* schema_ = nullptr;
+  bool ok_ = false;
+};
+
+/// Schema-headered JSON-lines file sink; rows are flushed as written so
+/// the file is live-tailable while the producer runs.
+class JsonlMetricSink final : public MetricSink {
+ public:
+  /// `flush_each_row` trades tail-latency for throughput; the default
+  /// favors liveness (the whole point of the format).
+  explicit JsonlMetricSink(std::string path, bool flush_each_row = true);
+  ~JsonlMetricSink() override;
+
+  void begin(const MetricSchema& schema, const RunMetadata& meta) override;
+  void row(std::span<const MetricValue> values) override;
+  using MetricSink::row;
+  void finish() override;
+
+  bool ok() const { return ok_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void flush_buf();
+
+  std::string path_;
+  bool flush_each_row_;
+  std::FILE* file_ = nullptr;
+  std::string buf_;
+  const MetricSchema* schema_ = nullptr;
+  bool ok_ = false;
+};
+
+/// Builds the one-line JSONL header object (no trailing newline). Shared
+/// by JsonlMetricSink and RingBufferSink so the two formats describe
+/// themselves identically.
+std::string make_jsonl_header(const MetricSchema& schema,
+                              const RunMetadata& meta);
+
+/// Fixed-capacity binary ring of packed rows.
+///
+/// Cell encoding (8 bytes each, little-endian): u64 raw; i64/f64 by bit
+/// pattern; bool 0/1; str cells store the FNV-1a hash of the string (the
+/// ring is fixed-stride — string identity survives, content does not;
+/// schemas meant for ring capture should avoid str fields).
+///
+/// dump() file layout (all integers little-endian):
+///   offset  0: magic "PSSRING1" (8 bytes)
+///   offset  8: u32 format version (1)
+///   offset 12: u32 header_len — length of the embedded JSONL header line
+///   offset 16: u32 field_count
+///   offset 20: u32 record_stride_bytes (= field_count * 8)
+///   offset 24: u64 capacity_records
+///   offset 32: u64 total_appended
+///   offset 40: u64 record_count (records present in this dump)
+///   offset 48: header_len bytes — the JSONL header object (schema + meta)
+///   then record_count * record_stride_bytes of packed cells, oldest first.
+class RingBufferSink final : public MetricSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity_records);
+
+  void begin(const MetricSchema& schema, const RunMetadata& meta) override;
+  void row(std::span<const MetricValue> values) override;
+  using MetricSink::row;
+  void finish() override {}
+
+  std::size_t capacity() const { return capacity_; }
+  /// Records currently held (<= capacity).
+  std::size_t size() const { return count_; }
+  /// Rows ever appended; total_appended() - size() rows were overwritten.
+  std::uint64_t total_appended() const { return total_appended_; }
+  std::uint64_t dropped() const { return total_appended_ - count_; }
+
+  /// Invokes `fn` for every held row, oldest first, each as the packed
+  /// cell span; then empties the ring (dropped() keeps counting from the
+  /// same total). The spans are only valid inside the callback.
+  void drain(const std::function<void(std::span<const std::uint64_t>)>& fn);
+
+  /// Writes the self-contained binary dump (layout above) without
+  /// consuming the ring. Returns false on I/O failure.
+  bool dump(const std::string& path) const;
+
+  /// FNV-1a 64-bit fold used for str cells (exposed for readers/tests).
+  static std::uint64_t hash_str(std::string_view s);
+
+ private:
+  std::size_t slot_offset(std::size_t logical) const {
+    return ((start_ + logical) % capacity_) * stride_;
+  }
+
+  std::size_t capacity_;
+  std::size_t stride_ = 0;  ///< cells per record
+  std::vector<std::uint64_t> cells_;
+  std::size_t start_ = 0;  ///< ring index of the oldest record
+  std::size_t count_ = 0;
+  std::uint64_t total_appended_ = 0;
+  std::string header_;
+  const MetricSchema* schema_ = nullptr;
+};
+
+/// Forwards begin/row/finish to every attached sink. Attach before
+/// begin(); the fan-out does not own its children. Rows are validated
+/// against the schema here even with zero children, so a producer's
+/// schema mismatch is caught in runs that record nothing (quick CI).
+class FanOutSink final : public MetricSink {
+ public:
+  FanOutSink() = default;
+  void add(MetricSink& sink) { sinks_.push_back(&sink); }
+
+  void begin(const MetricSchema& schema, const RunMetadata& meta) override {
+    schema_ = &schema;
+    for (MetricSink* s : sinks_) s->begin(schema, meta);
+  }
+  void row(std::span<const MetricValue> values) override {
+    PSS_CHECK_MSG(schema_ != nullptr, "row() before begin()");
+    check_row(*schema_, values);
+    for (MetricSink* s : sinks_) s->row(values);
+  }
+  using MetricSink::row;
+  void finish() override {
+    for (MetricSink* s : sinks_) s->finish();
+  }
+  std::size_t count() const { return sinks_.size(); }
+
+ private:
+  std::vector<MetricSink*> sinks_;
+  const MetricSchema* schema_ = nullptr;
+};
+
+}  // namespace pss::obs

@@ -20,6 +20,7 @@
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
 #include "pss/obs/graph_census.hpp"
+#include "pss/obs/metric_sink.hpp"
 #include "pss/sim/probe.hpp"
 
 namespace pss::obs {
@@ -40,6 +41,8 @@ struct SnapshotRecord {
   Cycle cycle = 0;
   std::size_t live = 0;
   std::uint64_t undirected_edges = 0;
+  std::uint64_t dead_links = 0;            ///< Figure 7 metric
+  std::uint64_t cross_partition_links = 0; ///< Section 8 metric
   DegreeStats degree;      ///< undirected-union degrees
   DegreeStats in_degree;
   DegreeStats out_degree;
@@ -51,6 +54,14 @@ struct SnapshotRecord {
 class StreamingObserver final : public sim::SnapshotProbe {
  public:
   explicit StreamingObserver(ObserverConfig config = {});
+
+  /// Streams every subsequent snapshot to `sink` as one
+  /// schemas::kSnapshot row. Call before the run: the observer calls
+  /// sink.begin(kSnapshot, meta) here and row() per firing; the caller
+  /// keeps ownership (and calls finish(), usually via the destructor).
+  /// The sink is write-only observation — attaching one cannot change a
+  /// run's state digest (pinned by tests/metric_sink_test.cpp).
+  void attach_sink(MetricSink& sink, const RunMetadata& meta);
 
   void on_snapshot(const sim::Network& network, Cycle cycle) override;
 
@@ -70,6 +81,7 @@ class StreamingObserver final : public sim::SnapshotProbe {
   Rng rng_;
   GraphCensus census_;
   std::vector<SnapshotRecord> records_;
+  MetricSink* sink_ = nullptr;
 };
 
 }  // namespace pss::obs

@@ -1,0 +1,163 @@
+#include "pss/obs/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace pss::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(ch) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(ch) & 0xF];
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+namespace {
+
+template <typename T>
+void append_number(std::string& out, T v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void append_u64(std::string& out, std::uint64_t v) { append_number(out, v); }
+void append_i64(std::string& out, std::int64_t v) { append_number(out, v); }
+
+void append_f64(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; null keeps the document valid
+    return;
+  }
+  // Shortest round-trip form; always parseable back to the same bits.
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void JsonWriter::indent() {
+  out_->push_back('\n');
+  out_->append(2 * depth_, ' ');
+}
+
+void JsonWriter::before_item() {
+  if (depth_ == 0) return;  // top-level value
+  Frame& top = stack_[depth_ - 1];
+  if (top.pending_key) {
+    // The comma/indent was handled when the key was emitted.
+    top.pending_key = false;
+    return;
+  }
+  if (top.has_items) out_->push_back(',');
+  if (pretty_) indent();
+  top.has_items = true;
+}
+
+void JsonWriter::begin_object() {
+  before_item();
+  PSS_CHECK_MSG(depth_ < kMaxDepth, "JsonWriter nesting too deep");
+  out_->push_back('{');
+  stack_[depth_++] = {true, false, false};
+  wrote_any_ = true;
+}
+
+void JsonWriter::end_object() {
+  PSS_CHECK_MSG(depth_ > 0 && stack_[depth_ - 1].is_object,
+                "end_object outside an object");
+  const bool had_items = stack_[depth_ - 1].has_items;
+  --depth_;
+  if (pretty_ && had_items) indent();
+  out_->push_back('}');
+}
+
+void JsonWriter::begin_array() {
+  before_item();
+  PSS_CHECK_MSG(depth_ < kMaxDepth, "JsonWriter nesting too deep");
+  out_->push_back('[');
+  stack_[depth_++] = {false, false, false};
+  wrote_any_ = true;
+}
+
+void JsonWriter::end_array() {
+  PSS_CHECK_MSG(depth_ > 0 && !stack_[depth_ - 1].is_object,
+                "end_array outside an array");
+  const bool had_items = stack_[depth_ - 1].has_items;
+  --depth_;
+  if (pretty_ && had_items) indent();
+  out_->push_back(']');
+}
+
+void JsonWriter::key(std::string_view k) {
+  PSS_CHECK_MSG(depth_ > 0 && stack_[depth_ - 1].is_object,
+                "key outside an object");
+  Frame& top = stack_[depth_ - 1];
+  PSS_CHECK_MSG(!top.pending_key, "two keys in a row");
+  if (top.has_items) out_->push_back(',');
+  if (pretty_) indent();
+  top.has_items = true;
+  top.pending_key = true;
+  out_->push_back('"');
+  append_json_escaped(*out_, k);
+  out_->append("\": ", pretty_ ? 3 : 2);
+}
+
+void JsonWriter::value_string(std::string_view s) {
+  before_item();
+  out_->push_back('"');
+  append_json_escaped(*out_, s);
+  out_->push_back('"');
+  wrote_any_ = true;
+}
+
+void JsonWriter::value(const MetricValue& v) {
+  switch (v.type) {
+    case FieldType::kStr:
+      value_string(v.s);
+      return;
+    case FieldType::kU64:
+      before_item();
+      append_u64(*out_, v.u);
+      break;
+    case FieldType::kI64:
+      before_item();
+      append_i64(*out_, v.i);
+      break;
+    case FieldType::kF64:
+      before_item();
+      append_f64(*out_, v.f);
+      break;
+    case FieldType::kBool:
+      before_item();
+      out_->append(v.b ? "true" : "false");
+      break;
+  }
+  wrote_any_ = true;
+}
+
+}  // namespace pss::obs

@@ -1,0 +1,76 @@
+#include "pss/obs/run_recorder.hpp"
+
+#include <cstdio>
+
+namespace pss::obs {
+
+std::string to_hex16(std::uint64_t v) {
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = hex[v & 0xF];
+    v >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf, 16);
+}
+
+RunRecorder::RunRecorder(std::string_view bench, std::uint32_t version,
+                         const RunMetadata& meta)
+    : writer_(out_, /*pretty=*/true) {
+  writer_.begin_object();
+  writer_.key("schema");
+  writer_.begin_object();
+  std::string name = "pss.bench.";
+  name += bench;
+  writer_.field("name", std::string_view(name));
+  writer_.field("version", std::uint64_t{version});
+  writer_.end_object();
+  writer_.key("meta");
+  writer_.begin_object();
+  writer_.field("bench", meta.bench.empty() ? std::string_view(bench)
+                                            : meta.bench);
+  writer_.field("engine", meta.engine);
+  writer_.field("protocol", meta.protocol);
+  writer_.field("protocol_id", meta.protocol_id);
+  writer_.field("n", meta.n);
+  writer_.field("c", meta.view_size);
+  writer_.field("cycles", meta.cycles);
+  writer_.field("seed", meta.seed);
+  writer_.field("git", meta.git.empty() ? build_git_describe() : meta.git);
+  writer_.end_object();
+}
+
+bool RunRecorder::gate(std::string_view name, bool ok) {
+  gates_.emplace_back(std::string(name), ok);
+  return ok;
+}
+
+bool RunRecorder::gates_ok() const {
+  for (const auto& [name, ok] : gates_) {
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool RunRecorder::write(const std::string& path) {
+  PSS_CHECK_MSG(!written_, "RunRecorder::write called twice");
+  written_ = true;
+  writer_.key("gates");
+  writer_.begin_object();
+  for (const auto& [name, ok] : gates_) {
+    writer_.field(std::string_view(name), ok);
+  }
+  writer_.end_object();
+  writer_.field("gates_ok", gates_ok());
+  writer_.end_object();
+  PSS_CHECK_MSG(writer_.complete(), "BENCH document left open");
+  out_ += '\n';
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote =
+      std::fwrite(out_.data(), 1, out_.size(), file) == out_.size();
+  return std::fclose(file) == 0 && wrote;
+}
+
+}  // namespace pss::obs

@@ -1,0 +1,386 @@
+#include "pss/obs/sinks.hpp"
+
+#include <bit>
+
+#include "pss/obs/json_writer.hpp"
+
+namespace pss::obs {
+
+const char* field_type_name(FieldType type) {
+  switch (type) {
+    case FieldType::kU64:
+      return "u64";
+    case FieldType::kI64:
+      return "i64";
+    case FieldType::kF64:
+      return "f64";
+    case FieldType::kBool:
+      return "bool";
+    case FieldType::kStr:
+      return "str";
+  }
+  return "?";
+}
+
+std::string_view build_git_describe() {
+#ifdef PSS_GIT_DESCRIBE
+  return PSS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+namespace {
+
+/// Appends the meta block in the `key=value` form shared by the CSV
+/// header; values are whitespace-free by construction (protocol names
+/// contain commas/parens, never spaces).
+void append_meta_kv(std::string& out, const RunMetadata& meta) {
+  out += "bench=";
+  out += meta.bench;
+  out += " engine=";
+  out += meta.engine;
+  out += " protocol=";
+  out += meta.protocol;
+  out += " protocol_id=";
+  append_i64(out, meta.protocol_id);
+  out += " n=";
+  append_u64(out, meta.n);
+  out += " c=";
+  append_u64(out, meta.view_size);
+  out += " cycles=";
+  append_u64(out, meta.cycles);
+  out += " seed=";
+  append_u64(out, meta.seed);
+  out += " git=";
+  out += meta.git.empty() ? build_git_describe() : meta.git;
+}
+
+/// Worst-case formatted bytes for one row: numeric cells are bounded; str
+/// cells get a generous starting estimate (the buffer still grows for
+/// pathological strings — amortized, per the sink contract).
+std::size_t row_buffer_hint(const MetricSchema& schema) {
+  std::size_t bytes = 16;
+  for (std::size_t i = 0; i < schema.field_count; ++i) {
+    bytes += std::char_traits<char>::length(schema.fields[i].name) + 8;
+    bytes += schema.fields[i].type == FieldType::kStr ? 64 : 24;
+  }
+  return bytes;
+}
+
+void append_csv_cell(std::string& out, const MetricValue& v) {
+  switch (v.type) {
+    case FieldType::kU64:
+      append_u64(out, v.u);
+      return;
+    case FieldType::kI64:
+      append_i64(out, v.i);
+      return;
+    case FieldType::kF64:
+      append_f64(out, v.f);
+      return;
+    case FieldType::kBool:
+      out += v.b ? '1' : '0';
+      return;
+    case FieldType::kStr: {
+      const bool quote = v.s.find_first_of(",\"\n") != std::string_view::npos;
+      if (!quote) {
+        out += v.s;
+        return;
+      }
+      out += '"';
+      for (char ch : v.s) {
+        if (ch == '"') out += '"';
+        out += ch;
+      }
+      out += '"';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string make_jsonl_header(const MetricSchema& schema,
+                              const RunMetadata& meta) {
+  std::string out;
+  JsonWriter w(out, /*pretty=*/false);
+  w.begin_object();
+  w.field("pss_metrics", std::uint64_t{1});
+  w.key("schema");
+  w.begin_object();
+  w.field("name", schema.name);
+  w.field("version", std::uint64_t{schema.version});
+  w.end_object();
+  w.key("fields");
+  w.begin_array();
+  for (std::size_t i = 0; i < schema.field_count; ++i) {
+    w.begin_object();
+    w.field("name", schema.fields[i].name);
+    w.field("type", field_type_name(schema.fields[i].type));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("meta");
+  w.begin_object();
+  w.field("bench", meta.bench);
+  w.field("engine", meta.engine);
+  w.field("protocol", meta.protocol);
+  w.field("protocol_id", meta.protocol_id);
+  w.field("n", meta.n);
+  w.field("c", meta.view_size);
+  w.field("cycles", meta.cycles);
+  w.field("seed", meta.seed);
+  w.field("git", meta.git.empty() ? build_git_describe() : meta.git);
+  w.end_object();
+  w.end_object();
+  return out;
+}
+
+// ---- CsvMetricSink ---------------------------------------------------------
+
+CsvMetricSink::CsvMetricSink(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  ok_ = file_ != nullptr;
+}
+
+CsvMetricSink::~CsvMetricSink() { finish(); }
+
+void CsvMetricSink::flush_buf() {
+  if (file_ != nullptr && !buf_.empty()) {
+    if (std::fwrite(buf_.data(), 1, buf_.size(), file_) != buf_.size()) {
+      ok_ = false;
+    }
+  }
+  buf_.clear();
+}
+
+void CsvMetricSink::begin(const MetricSchema& schema, const RunMetadata& meta) {
+  PSS_CHECK_MSG(schema_ == nullptr, "begin() called twice");
+  schema_ = &schema;
+  buf_.reserve(row_buffer_hint(schema) + 256);
+  buf_ += "# pss-metrics-csv 1\n# schema: ";
+  buf_ += schema.name;
+  buf_ += ' ';
+  append_u64(buf_, schema.version);
+  buf_ += "\n# fields: ";
+  for (std::size_t i = 0; i < schema.field_count; ++i) {
+    if (i > 0) buf_ += ',';
+    buf_ += schema.fields[i].name;
+    buf_ += ':';
+    buf_ += field_type_name(schema.fields[i].type);
+  }
+  buf_ += "\n# meta: ";
+  append_meta_kv(buf_, meta);
+  buf_ += '\n';
+  for (std::size_t i = 0; i < schema.field_count; ++i) {
+    if (i > 0) buf_ += ',';
+    buf_ += schema.fields[i].name;
+  }
+  buf_ += '\n';
+  flush_buf();
+}
+
+void CsvMetricSink::row(std::span<const MetricValue> values) {
+  PSS_CHECK_MSG(schema_ != nullptr, "row() before begin()");
+  check_row(*schema_, values);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) buf_ += ',';
+    append_csv_cell(buf_, values[i]);
+  }
+  buf_ += '\n';
+  flush_buf();
+}
+
+void CsvMetricSink::finish() {
+  if (file_ != nullptr) {
+    flush_buf();
+    if (std::fclose(file_) != 0) ok_ = false;
+    file_ = nullptr;
+  }
+}
+
+// ---- JsonlMetricSink -------------------------------------------------------
+
+JsonlMetricSink::JsonlMetricSink(std::string path, bool flush_each_row)
+    : path_(std::move(path)), flush_each_row_(flush_each_row) {
+  file_ = std::fopen(path_.c_str(), "wb");
+  ok_ = file_ != nullptr;
+}
+
+JsonlMetricSink::~JsonlMetricSink() { finish(); }
+
+void JsonlMetricSink::flush_buf() {
+  if (file_ != nullptr && !buf_.empty()) {
+    if (std::fwrite(buf_.data(), 1, buf_.size(), file_) != buf_.size()) {
+      ok_ = false;
+    }
+    if (flush_each_row_ && std::fflush(file_) != 0) ok_ = false;
+  }
+  buf_.clear();
+}
+
+void JsonlMetricSink::begin(const MetricSchema& schema,
+                            const RunMetadata& meta) {
+  PSS_CHECK_MSG(schema_ == nullptr, "begin() called twice");
+  schema_ = &schema;
+  buf_ = make_jsonl_header(schema, meta);
+  buf_ += '\n';
+  buf_.reserve(buf_.size() + row_buffer_hint(schema));
+  flush_buf();
+}
+
+void JsonlMetricSink::row(std::span<const MetricValue> values) {
+  PSS_CHECK_MSG(schema_ != nullptr, "row() before begin()");
+  check_row(*schema_, values);
+  buf_ += '{';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) buf_ += ',';
+    buf_ += '"';
+    buf_ += schema_->fields[i].name;  // field names never need escaping
+    buf_ += "\":";
+    const MetricValue& v = values[i];
+    switch (v.type) {
+      case FieldType::kU64:
+        append_u64(buf_, v.u);
+        break;
+      case FieldType::kI64:
+        append_i64(buf_, v.i);
+        break;
+      case FieldType::kF64:
+        append_f64(buf_, v.f);
+        break;
+      case FieldType::kBool:
+        buf_ += v.b ? "true" : "false";
+        break;
+      case FieldType::kStr:
+        buf_ += '"';
+        append_json_escaped(buf_, v.s);
+        buf_ += '"';
+        break;
+    }
+  }
+  buf_ += "}\n";
+  flush_buf();
+}
+
+void JsonlMetricSink::finish() {
+  if (file_ != nullptr) {
+    flush_buf();
+    if (std::fclose(file_) != 0) ok_ = false;
+    file_ = nullptr;
+  }
+}
+
+// ---- RingBufferSink --------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity_records)
+    : capacity_(capacity_records) {
+  PSS_CHECK_MSG(capacity_ > 0, "ring capacity must be positive");
+}
+
+std::uint64_t RingBufferSink::hash_str(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void RingBufferSink::begin(const MetricSchema& schema,
+                           const RunMetadata& meta) {
+  PSS_CHECK_MSG(schema_ == nullptr, "begin() called twice");
+  schema_ = &schema;
+  stride_ = schema.field_count;
+  cells_.assign(capacity_ * stride_, 0);
+  header_ = make_jsonl_header(schema, meta);
+}
+
+void RingBufferSink::row(std::span<const MetricValue> values) {
+  PSS_CHECK_MSG(schema_ != nullptr, "row() before begin()");
+  check_row(*schema_, values);
+  std::size_t offset;
+  if (count_ < capacity_) {
+    offset = slot_offset(count_);
+    ++count_;
+  } else {
+    offset = start_ * stride_;  // overwrite the oldest record
+    start_ = (start_ + 1) % capacity_;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const MetricValue& v = values[i];
+    std::uint64_t cell = 0;
+    switch (v.type) {
+      case FieldType::kU64:
+        cell = v.u;
+        break;
+      case FieldType::kI64:
+        cell = std::bit_cast<std::uint64_t>(v.i);
+        break;
+      case FieldType::kF64:
+        cell = std::bit_cast<std::uint64_t>(v.f);
+        break;
+      case FieldType::kBool:
+        cell = v.b ? 1 : 0;
+        break;
+      case FieldType::kStr:
+        cell = hash_str(v.s);
+        break;
+    }
+    cells_[offset + i] = cell;
+  }
+  ++total_appended_;
+}
+
+void RingBufferSink::drain(
+    const std::function<void(std::span<const std::uint64_t>)>& fn) {
+  for (std::size_t r = 0; r < count_; ++r) {
+    fn(std::span<const std::uint64_t>(cells_.data() + slot_offset(r), stride_));
+  }
+  start_ = 0;
+  count_ = 0;
+}
+
+namespace {
+
+void append_le32(std::string& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    out += static_cast<char>((v >> (8 * b)) & 0xFF);
+  }
+}
+
+void append_le64(std::string& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    out += static_cast<char>((v >> (8 * b)) & 0xFF);
+  }
+}
+
+}  // namespace
+
+bool RingBufferSink::dump(const std::string& path) const {
+  PSS_CHECK_MSG(schema_ != nullptr, "dump() before begin()");
+  std::string out;
+  out.reserve(48 + header_.size() + count_ * stride_ * 8);
+  out += "PSSRING1";
+  append_le32(out, 1);
+  append_le32(out, static_cast<std::uint32_t>(header_.size()));
+  append_le32(out, static_cast<std::uint32_t>(stride_));
+  append_le32(out, static_cast<std::uint32_t>(stride_ * 8));
+  append_le64(out, capacity_);
+  append_le64(out, total_appended_);
+  append_le64(out, count_);
+  out += header_;
+  for (std::size_t r = 0; r < count_; ++r) {
+    const std::size_t offset = slot_offset(r);
+    for (std::size_t i = 0; i < stride_; ++i) {
+      append_le64(out, cells_[offset + i]);
+    }
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool wrote = std::fwrite(out.data(), 1, out.size(), file) == out.size();
+  return std::fclose(file) == 0 && wrote;
+}
+
+}  // namespace pss::obs

@@ -1,10 +1,17 @@
 #include "pss/obs/streaming_observer.hpp"
 
+#include "pss/obs/schemas.hpp"
+
 namespace pss::obs {
 
 StreamingObserver::StreamingObserver(ObserverConfig config)
     : config_(config), rng_(config.seed) {
   records_.reserve(config_.reserve_records);
+}
+
+void StreamingObserver::attach_sink(MetricSink& sink, const RunMetadata& meta) {
+  sink_ = &sink;
+  sink_->begin(schemas::kSnapshot, meta);
 }
 
 void StreamingObserver::on_snapshot(const sim::Network& network, Cycle cycle) {
@@ -13,6 +20,8 @@ void StreamingObserver::on_snapshot(const sim::Network& network, Cycle cycle) {
   rec.cycle = cycle;
   rec.live = census_.live_count();
   rec.undirected_edges = census_.undirected_edge_count();
+  rec.dead_links = census_.dead_link_count();
+  rec.cross_partition_links = census_.cross_partition_link_count();
   rec.degree = census_.degree_stats();
   rec.in_degree = census_.in_degree_stats();
   rec.out_degree = census_.out_degree_stats();
@@ -24,6 +33,14 @@ void StreamingObserver::on_snapshot(const sim::Network& network, Cycle cycle) {
     rec.path = census_.path_length_sampled(config_.path_sources, rng_);
   }
   records_.push_back(rec);
+  if (sink_ != nullptr) {
+    sink_->row({rec.cycle, rec.live, rec.undirected_edges, rec.dead_links,
+                rec.cross_partition_links, rec.degree.min, rec.degree.max,
+                rec.degree.mean, rec.degree.variance, rec.in_degree.variance,
+                rec.out_degree.variance, rec.components.count,
+                rec.components.largest, rec.components.outside_largest,
+                rec.clustering, rec.path.average, rec.path.reachable_fraction});
+  }
 }
 
 }  // namespace pss::obs

@@ -33,6 +33,7 @@
 #include "pss/common/rng.hpp"
 #include "pss/common/types.hpp"
 #include "pss/membership/flat_ops.hpp"
+#include "pss/obs/metric_sink.hpp"
 #include "pss/protocol/flat_exchange.hpp"
 #include "pss/protocol/gossip_node.hpp"
 #include "pss/protocol/node_arena.hpp"
@@ -80,6 +81,13 @@ class ServiceNode {
   /// truncating to c — the init() of the peer sampling API.
   void init(std::span<const NodeId> contacts);
 
+  /// Streams one obs::schemas::kServiceTick row at the end of every
+  /// on_tick firing — the daemon's live observability path (JSONL file,
+  /// in-memory ring, or both via FanOutSink). The node calls
+  /// sink.begin() here; the caller keeps ownership. Write-only
+  /// observation: attaching a sink never alters protocol behaviour.
+  void attach_sink(obs::MetricSink& sink, const obs::RunMetadata& meta);
+
   /// Active thread firing at time `now` (caller-driven: a wall-clock timer
   /// in the daemon, the LoopbackDriver's event loop in tests). Expires the
   /// overdue pull, ages the view, selects a peer and emits one request.
@@ -107,6 +115,7 @@ class ServiceNode {
   GossipNode& gossip_node() { return gossip_node_; }
 
  private:
+  void record_tick(double now);
   void send_request(NodeId peer, std::uint64_t exchange_id);
   void handle_request_frame(const ParsedFrame& frame);
   void handle_reply_frame(const ParsedFrame& frame, double now);
@@ -125,6 +134,7 @@ class ServiceNode {
   std::uint64_t next_exchange_ = 1;
   Cycle tick_ = 0;
   ServiceNodeStats stats_;
+  obs::MetricSink* sink_ = nullptr;
   flat::Scratch scratch_;
   std::vector<NodeDescriptor> buffer_;       ///< request staging, c+1 entries
   std::vector<NodeDescriptor> reply_buffer_; ///< reply staging, c+1 entries

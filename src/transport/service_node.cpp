@@ -4,6 +4,7 @@
 
 #include "pss/common/check.hpp"
 #include "pss/membership/view.hpp"
+#include "pss/obs/schemas.hpp"
 
 namespace pss::transport {
 
@@ -54,6 +55,20 @@ void ServiceNode::init(std::span<const NodeId> contacts) {
   gossip_node_.init_view(View(std::move(boot)));
 }
 
+void ServiceNode::attach_sink(obs::MetricSink& sink,
+                              const obs::RunMetadata& meta) {
+  sink_ = &sink;
+  sink_->begin(obs::schemas::kServiceTick, meta);
+}
+
+void ServiceNode::record_tick(double now) {
+  if (sink_ == nullptr) return;
+  sink_->row({static_cast<std::uint64_t>(tick_), now, view().size(),
+              stats_.wakeups, stats_.requests_sent, stats_.replies_delivered,
+              stats_.replies_stale, stats_.frames_rejected,
+              stats_.protocol_mismatches, stats_.misaddressed});
+}
+
 void ServiceNode::on_tick(double now) {
   ++stats_.wakeups;
   ++tick_;
@@ -64,7 +79,10 @@ void ServiceNode::on_tick(double now) {
   arena_->views.age(slot_);
   auto peer = flat::select_peer(arena_->views.view_of(slot_),
                                 spec_.peer_selection, arena_->rngs[slot_]);
-  if (!peer) return;
+  if (!peer) {
+    record_tick(now);
+    return;
+  }
   ++arena_->stats[slot_].initiated;
 
   const std::uint64_t exchange_id = next_exchange_++;
@@ -75,6 +93,7 @@ void ServiceNode::on_tick(double now) {
     }
   }
   send_request(*peer, exchange_id);
+  record_tick(now);
 }
 
 void ServiceNode::send_request(NodeId peer, std::uint64_t exchange_id) {

@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "pss/common/check.hpp"
-#include "pss/common/csv.hpp"
 #include "pss/common/env.hpp"
 #include "pss/common/rng.hpp"
 #include "pss/common/table.hpp"
@@ -267,27 +266,6 @@ TEST(FormatDouble, Precision) {
   EXPECT_EQ(format_double(1.23456, 2), "1.23");
   EXPECT_EQ(format_double(2.0, 0), "2");
   EXPECT_EQ(format_double(-0.5, 1), "-0.5");
-}
-
-TEST(CsvSink, DisabledWithoutEnv) {
-  ::unsetenv("PSS_CSV_DIR");
-  CsvSink sink("test_disabled");
-  EXPECT_FALSE(sink.enabled());
-  sink.write_row({"a", "b"});  // must be a harmless no-op
-}
-
-TEST(CsvSink, WritesAndEscapes) {
-  ::setenv("PSS_CSV_DIR", "/tmp/pss_csv_test", 1);
-  {
-    CsvSink sink("escape");
-    ASSERT_TRUE(sink.enabled());
-    sink.write_row({"plain", "with,comma", "with\"quote"});
-  }
-  std::ifstream in("/tmp/pss_csv_test/escape.csv");
-  std::string line;
-  std::getline(in, line);
-  EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
-  ::unsetenv("PSS_CSV_DIR");
 }
 
 }  // namespace
