@@ -18,6 +18,20 @@
 //   --metrics-dump=PATH  write the ring's self-contained binary dump at
 //                        exit (requires --metrics-ring).
 //
+// Causal tracing + runtime profiling (docs/TRACING.md):
+//   --trace-dump=PATH    attach a TraceRecorder flight recorder and write
+//                        its PSSTRACE1 dump at exit; dumps from several
+//                        daemon processes stitch into causal request->
+//                        reply chains via scripts/trace_tool.py;
+//   --trace-ring=N       flight-recorder capacity in events (default 4096);
+//   --http-port=N        serve counters + per-phase latency histograms +
+//                        ring stats in Prometheus text exposition format
+//                        on 127.0.0.1:N (0 = ephemeral; the bound port is
+//                        printed);
+//   --http-linger-ms=N   keep serving for N ms after the last cycle, so a
+//                        scraper started alongside the daemon always gets
+//                        a complete snapshot (scripts/udp_smoke.sh).
+//
 // Exits 0 only if the session actually gossiped (requests answered and
 // replies delivered) — scripts/udp_smoke.sh and CI gate on that.
 #include <chrono>
@@ -29,7 +43,10 @@
 #include <vector>
 
 #include "pss/common/rng.hpp"
+#include "pss/obs/profiler.hpp"
+#include "pss/obs/pull_endpoint.hpp"
 #include "pss/obs/sinks.hpp"
+#include "pss/obs/trace.hpp"
 #include "pss/transport/service_node.hpp"
 #include "pss/transport/udp_transport.hpp"
 #include "pss/transport/wire.hpp"
@@ -81,6 +98,11 @@ int main(int argc, char** argv) {
   const auto ring_capacity =
       static_cast<std::size_t>(arg_int(argc, argv, "metrics-ring", 0));
   const std::string dump_path = arg_str(argc, argv, "metrics-dump", "");
+  const std::string trace_path = arg_str(argc, argv, "trace-dump", "");
+  const auto trace_ring =
+      static_cast<std::size_t>(arg_int(argc, argv, "trace-ring", 4096));
+  const auto http_port = arg_int(argc, argv, "http-port", -1);
+  const auto http_linger_ms = arg_int(argc, argv, "http-linger-ms", 0);
   if (id >= n) {
     std::fprintf(stderr, "--id=%u must be < --nodes=%zu\n", id, n);
     return 2;
@@ -117,17 +139,42 @@ int main(int argc, char** argv) {
     fan.add(*ring);
   }
   const std::string spec_name = spec.name();
-  if (fan.count() > 0) {
-    obs::RunMetadata meta;
-    meta.bench = "udp_gossip_daemon";
-    meta.engine = "service";
-    meta.protocol = spec_name;
-    meta.protocol_id = transport::encode_protocol(spec);
-    meta.n = n;
-    meta.view_size = c;
-    meta.cycles = cycles;
-    meta.seed = seed;
-    node.attach_sink(fan, meta);
+  obs::RunMetadata meta;
+  meta.bench = "udp_gossip_daemon";
+  meta.engine = "service";
+  meta.protocol = spec_name;
+  meta.protocol_id = transport::encode_protocol(spec);
+  meta.n = n;
+  meta.view_size = c;
+  meta.cycles = cycles;
+  meta.seed = seed;
+  if (fan.count() > 0) node.attach_sink(fan, meta);
+
+  // Tracing seam: flight recorder + always-on profiler behind one tee.
+  // Either knob arms both — the pull endpoint serves the profiler's
+  // histograms, the dump file carries the recorder's spans.
+  std::unique_ptr<obs::TraceRecorder> trace;
+  obs::Profiler profiler;
+  obs::TraceTee tee;
+  if (!trace_path.empty() || http_port >= 0) {
+    trace = std::make_unique<obs::TraceRecorder>(trace_ring);
+    tee.add(*trace);
+    tee.add(profiler);
+    node.attach_trace(tee);
+  }
+  std::unique_ptr<obs::PullEndpoint> http;
+  if (http_port >= 0) {
+    http = std::make_unique<obs::PullEndpoint>(
+        static_cast<std::uint16_t>(http_port));
+    if (!http->ok()) {
+      std::fprintf(stderr, "daemon %u: cannot bind 127.0.0.1:%lld\n", id,
+                   static_cast<long long>(http_port));
+      return 2;
+    }
+    // The smoke script parses this line to find an ephemeral port.
+    std::printf("daemon %u: http endpoint on 127.0.0.1:%u\n", id,
+                http->port());
+    std::fflush(stdout);
   }
 
   std::vector<NodeId> contacts;
@@ -143,6 +190,38 @@ int main(int argc, char** argv) {
       node.on_datagram(bytes, now);
     };
   };
+  // Re-renders the pull-endpoint document: driver counters, trace-ring
+  // stats, per-phase latency histograms. Called once per tick — a scrape
+  // gets whatever snapshot is current.
+  auto publish = [&] {
+    if (!http) return;
+    std::string text;
+    char buf[160];
+    auto counter = [&](const char* name, unsigned long long v) {
+      std::snprintf(buf, sizeof buf, "# TYPE %s counter\n%s %llu\n", name,
+                    name, v);
+      text += buf;
+    };
+    auto gauge = [&](const char* name, unsigned long long v) {
+      std::snprintf(buf, sizeof buf, "# TYPE %s gauge\n%s %llu\n", name, name,
+                    v);
+      text += buf;
+    };
+    const transport::ServiceNodeStats& s = node.stats();
+    counter("pss_ticks_total", s.wakeups);
+    counter("pss_requests_sent_total", s.requests_sent);
+    counter("pss_replies_delivered_total", s.replies_delivered);
+    counter("pss_replies_stale_total", s.replies_stale);
+    counter("pss_frames_rejected_total", s.frames_rejected);
+    gauge("pss_view_size", node.view().size());
+    if (trace) {
+      counter("pss_trace_events_total", trace->total_recorded());
+      counter("pss_trace_events_overwritten_total", trace->dropped());
+      gauge("pss_trace_ring_capacity", trace->capacity());
+    }
+    profiler.render_prometheus(text);
+    http->set_text(std::move(text));
+  };
   for (std::size_t cycle = 1; cycle <= cycles; ++cycle) {
     const double now = static_cast<double>(cycle);
     node.on_tick(now);
@@ -152,12 +231,25 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(poll_slice);
       }
     }
+    publish();
   }
   // One grace round so late replies from slower peers still land.
   const double end = static_cast<double>(cycles);
   for (int pass = 0; pass < 8; ++pass) {
     if (socket.poll(on_datagram(end)) == 0) {
       std::this_thread::sleep_for(poll_slice);
+    }
+  }
+  publish();
+  // Hold the endpoint open so a scraper started alongside the daemon can
+  // still pull the final snapshot; keep draining the socket meanwhile.
+  if (http && http_linger_ms > 0) {
+    const auto linger_deadline = std::chrono::steady_clock::now() +
+                                 std::chrono::milliseconds(http_linger_ms);
+    while (std::chrono::steady_clock::now() < linger_deadline) {
+      if (socket.poll(on_datagram(end)) == 0) {
+        std::this_thread::sleep_for(poll_slice);
+      }
     }
   }
 
@@ -190,6 +282,17 @@ int main(int argc, char** argv) {
                 ring->size(),
                 static_cast<unsigned long long>(ring->total_appended()),
                 dump_path.c_str());
+  }
+  if (trace && !trace_path.empty()) {
+    if (!trace->dump(trace_path, meta)) {
+      std::fprintf(stderr, "daemon %u: trace dump to %s failed\n", id,
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("daemon %u: trace dump (%zu of %llu spans) written to %s\n",
+                id, trace->size(),
+                static_cast<unsigned long long>(trace->total_recorded()),
+                trace_path.c_str());
   }
   const bool gossiped = s.requests_sent > 0 && s.replies_delivered > 0 &&
                         !node.view().empty();

@@ -75,6 +75,10 @@ REGISTRY = {
         1: {"sections": ["params", "differential", "loopback", "udp"],
             "gates": ["differential"]},
     },
+    "pss.bench.scale_trace": {
+        1: {"sections": ["params", "differential", "runs"],
+            "gates": ["differential", "events_recorded"]},
+    },
 }
 
 
@@ -96,8 +100,8 @@ def check_digest_pairs(node, path, errors):
     if isinstance(node, dict):
         digests = [v for k, v in node.items()
                    if DIGEST_KEY.search(k) and isinstance(v, str)]
-        if node.get("matches") is True and len(digests) == 2:
-            if digests[0] != digests[1]:
+        if node.get("matches") is True and len(digests) >= 2:
+            if len(set(digests)) != 1:
                 errors.append(
                     f"{path}: matches=true but digests differ: {digests}")
         for key, value in node.items():

@@ -214,6 +214,54 @@ def render_snapshot(out, header, rows):
     out.append("")
 
 
+def render_profile(out, header, rows):
+    """Per-phase latency percentile table from pss.obs.profile histogram
+    rows (one row per non-empty log2 bucket; see obs::Profiler). The
+    percentile rule matches Profiler::percentile_ns — the upper edge of
+    the first bucket whose cumulative count reaches ceil(q * total)."""
+    import math
+
+    out.append(meta_block(header))
+    phases = {}
+    for row in rows:
+        phases.setdefault(row.get("phase", "-"), []).append(row)
+
+    def percentile(buckets, total, q):
+        rank = max(1, math.ceil(q * total))
+        seen = 0
+        for b in buckets:
+            seen += b["count"]
+            if seen >= rank:
+                return b["hi_ns"]
+        return buckets[-1]["hi_ns"] if buckets else 0
+
+    stats_rows = []
+    for phase, buckets in sorted(phases.items()):
+        buckets.sort(key=lambda b: b.get("bucket", 0))
+        total = sum(b["count"] for b in buckets)
+        if total == 0:
+            continue
+        stats_rows.append({
+            "phase": phase,
+            "count": total,
+            "p50_ns": percentile(buckets, total, 0.50),
+            "p90_ns": percentile(buckets, total, 0.90),
+            "p99_ns": percentile(buckets, total, 0.99),
+            "max_ns": buckets[-1]["hi_ns"],
+        })
+    table(out, ["phase", "count", "p50_ns", "p90_ns", "p99_ns", "max_ns"],
+          stats_rows)
+    for phase, buckets in sorted(phases.items()):
+        lo = min(b["bucket"] for b in buckets)
+        hi = max(b["bucket"] for b in buckets)
+        counts = {b["bucket"]: b["count"] for b in buckets}
+        out.append("```")
+        out.append(f"{phase:>16}  " +
+                   spark([counts.get(b, 0) for b in range(lo, hi + 1)]))
+        out.append("```")
+    out.append("")
+
+
 def render_generic(out, header, rows):
     out.append(meta_block(header))
     out.append("_Unregistered schema — generic table render._")
@@ -237,6 +285,9 @@ RENDERERS = {
         1: ("Figure 7 — self-healing after catastrophic failure",
             render_fig7)},
     "pss.obs.snapshot": {1: ("Streamed snapshots", render_snapshot)},
+    "pss.obs.profile": {
+        1: ("Runtime profiler — per-phase exchange latency",
+            render_profile)},
 }
 
 

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Read PSSTRACE1 flight-recorder dumps and stitch causal exchange chains.
+
+A dump is self-describing (see src/obs/include/pss/obs/trace.hpp):
+
+    offset  0: magic "PSSTRACE1" (9 bytes) + 1 pad byte
+    offset 10: u16 event_stride_bytes (32)
+    offset 12: u32 header_len
+    offset 16: u64 capacity_events
+    offset 24: u64 total_recorded
+    offset 32: u64 event_count
+    offset 40: header_len bytes of JSON  {"pss_metrics":1,"schema":
+               {"name":"pss.obs.trace","version":1},"fields":[...],"meta":...}
+    then event_count packed 32-byte little-endian events, oldest first.
+
+This tool refuses unknown schema names/versions and unexpected strides —
+the versioning rule every reader in this repo follows.
+
+Because both UDP endpoints stamp their spans with the same wire u64
+exchange id (src/transport/wire.hpp), dumps taken from SEPARATE daemon
+processes stitch into causal chains keyed by (exchange_id, initiator,
+peer):
+
+    request_sent on A(->B)  ->  merge_apply on B(from A)
+                            ->  reply_received on A(from B)
+
+Commands:
+    dump FILE...                 print events as text
+    stitch FILE... [--json] [--require-chain N] [--max-chains N]
+                                 stitch chains + per-phase latency stats
+
+`stitch --require-chain N` exits non-zero unless at least N chains have
+both a request_sent and the matching remote merge_apply — the CI
+assertion that cross-process causality survives a real UDP session
+(scripts/udp_smoke.sh).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import struct
+import sys
+
+MAGIC = b"PSSTRACE1"
+STRIDE = 32
+SCHEMA_NAME = "pss.obs.trace"
+KNOWN_VERSIONS = {1}
+NO_PEER = 0xFFFFFFFF
+
+PHASES = {
+    0: "select",
+    1: "merge_apply",
+    2: "request_sent",
+    3: "reply_received",
+    4: "timeout",
+}
+
+
+class Event:
+    __slots__ = ("wall_ns", "exchange_id", "node", "peer", "duration_ns",
+                 "tick", "kind", "source")
+
+    def __init__(self, fields, source):
+        (self.wall_ns, self.exchange_id, self.node, self.peer,
+         self.duration_ns, self.tick, self.kind, _reserved) = fields
+        self.source = source
+
+    @property
+    def phase(self):
+        return PHASES.get(self.kind, f"kind{self.kind}")
+
+    def as_dict(self):
+        return {
+            "wall_ns": self.wall_ns,
+            "exchange_id": self.exchange_id,
+            "node": self.node,
+            "peer": None if self.peer == NO_PEER else self.peer,
+            "duration_ns": self.duration_ns,
+            "tick": self.tick,
+            "phase": self.phase,
+            "source": self.source,
+        }
+
+
+def load_dump(path):
+    """Returns (header_dict, [Event])."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < 40 or blob[:9] != MAGIC:
+        raise SystemExit(f"{path}: not a PSSTRACE1 dump")
+    stride, header_len = struct.unpack_from("<HI", blob, 10)
+    _capacity, _total, count = struct.unpack_from("<QQQ", blob, 16)
+    if stride != STRIDE:
+        raise SystemExit(f"{path}: event stride {stride}, expected {STRIDE}")
+    try:
+        header = json.loads(blob[40:40 + header_len])
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: bad embedded header: {exc}")
+    schema = header.get("schema", {})
+    if schema.get("name") != SCHEMA_NAME:
+        raise SystemExit(f"{path}: schema {schema.get('name')!r}, "
+                         f"expected {SCHEMA_NAME!r}")
+    if schema.get("version") not in KNOWN_VERSIONS:
+        raise SystemExit(
+            f"{path}: schema version {schema.get('version')!r} not in "
+            f"{sorted(KNOWN_VERSIONS)}; readers refuse unknown versions")
+    offset = 40 + header_len
+    need = offset + count * STRIDE
+    if len(blob) < need:
+        raise SystemExit(f"{path}: truncated ({len(blob)} bytes, need {need})")
+    events = [Event(struct.unpack_from("<QQIIIHBB", blob, offset + i * STRIDE),
+                    path)
+              for i in range(count)]
+    return header, events
+
+
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def phase_stats(events):
+    by_phase = {}
+    for e in events:
+        by_phase.setdefault(e.phase, []).append(e.duration_ns)
+    stats = {}
+    for phase, durations in sorted(by_phase.items()):
+        durations.sort()
+        stats[phase] = {
+            "count": len(durations),
+            "p50_ns": percentile(durations, 0.50),
+            "p90_ns": percentile(durations, 0.90),
+            "p99_ns": percentile(durations, 0.99),
+            "max_ns": durations[-1],
+        }
+    return stats
+
+
+def stitch_chains(events):
+    """Chains keyed by (exchange_id, initiator, peer) — the id alone can
+    collide across processes, the endpoint pair disambiguates."""
+    chains = {}
+
+    def chain(key):
+        return chains.setdefault(
+            key, {"exchange_id": key[0], "initiator": key[1], "peer": key[2],
+                  "request_sent": None, "merge_apply": None,
+                  "reply_received": None, "timeout": None})
+
+    for e in events:
+        if e.peer == NO_PEER or e.exchange_id == 0:
+            continue
+        if e.phase in ("request_sent", "reply_received", "timeout"):
+            slot = chain((e.exchange_id, e.node, e.peer))
+        elif e.phase == "merge_apply":
+            # Passive side: e.node is the peer, e.peer the initiator.
+            slot = chain((e.exchange_id, e.peer, e.node))
+        else:
+            continue
+        if slot[e.phase] is None:
+            slot[e.phase] = e
+
+    out = []
+    for key in sorted(chains):
+        c = chains[key]
+        rs, ma, rr = c["request_sent"], c["merge_apply"], c["reply_received"]
+        complete = rs is not None and ma is not None
+        cross = complete and rs.source != ma.source
+        row = {
+            "exchange_id": c["exchange_id"],
+            "initiator": c["initiator"],
+            "peer": c["peer"],
+            "complete": complete,
+            "cross_process": cross,
+            "timed_out": c["timeout"] is not None,
+            "request_to_merge_ns":
+                ma.wall_ns - rs.wall_ns if complete else None,
+            "request_to_reply_ns":
+                rr.wall_ns - rs.wall_ns if rs and rr else None,
+            "phases": {p: c[p].as_dict() for p in
+                       ("request_sent", "merge_apply", "reply_received",
+                        "timeout") if c[p] is not None},
+        }
+        out.append(row)
+    return out
+
+
+def cmd_dump(args):
+    for path in args.files:
+        header, events = load_dump(path)
+        meta = header.get("meta", {})
+        print(f"# {path}: {len(events)} events "
+              f"(n={meta.get('n')}, engine={meta.get('engine')})")
+        for e in events:
+            peer = "-" if e.peer == NO_PEER else e.peer
+            print(f"{e.wall_ns} {e.phase:<14} node={e.node:<8} peer={peer:<8} "
+                  f"xid={e.exchange_id:<8} dur={e.duration_ns}ns "
+                  f"tick={e.tick}")
+    return 0
+
+
+def cmd_stitch(args):
+    events = []
+    for path in args.files:
+        _header, file_events = load_dump(path)
+        events.extend(file_events)
+    chains = stitch_chains(events)
+    complete = [c for c in chains if c["complete"]]
+    cross = [c for c in complete if c["cross_process"]]
+    stats = phase_stats(events)
+
+    report = {
+        "files": args.files,
+        "events": len(events),
+        "chains": len(chains),
+        "complete_chains": len(complete),
+        "cross_process_chains": len(cross),
+        "phase_stats": stats,
+        "sample_chains": chains[:args.max_chains],
+    }
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        print(f"events={len(events)} chains={len(chains)} "
+              f"complete={len(complete)} cross_process={len(cross)}")
+        print(f"{'phase':<16} {'count':>8} {'p50':>10} {'p90':>10} "
+              f"{'p99':>10} {'max':>10}  (ns)")
+        for phase, s in stats.items():
+            print(f"{phase:<16} {s['count']:>8} {s['p50_ns']:>10} "
+                  f"{s['p90_ns']:>10} {s['p99_ns']:>10} {s['max_ns']:>10}")
+        for c in complete[:args.max_chains]:
+            hops = " -> ".join(p for p in ("request_sent", "merge_apply",
+                                           "reply_received")
+                               if p in c["phases"])
+            print(f"chain xid={c['exchange_id']} "
+                  f"{c['initiator']}->{c['peer']}: {hops} "
+                  f"(req->merge {c['request_to_merge_ns']}ns"
+                  + (f", req->reply {c['request_to_reply_ns']}ns"
+                     if c["request_to_reply_ns"] is not None else "") + ")")
+
+    if args.require_chain > 0 and len(complete) < args.require_chain:
+        print(f"trace_tool: FAIL — {len(complete)} complete chain(s), "
+              f"need {args.require_chain}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dump = sub.add_parser("dump", help="print events as text")
+    p_dump.add_argument("files", nargs="+")
+    p_dump.set_defaults(func=cmd_dump)
+
+    p_stitch = sub.add_parser("stitch", help="stitch causal chains")
+    p_stitch.add_argument("files", nargs="+")
+    p_stitch.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    p_stitch.add_argument("--require-chain", type=int, default=0,
+                          metavar="N",
+                          help="exit non-zero unless >= N complete chains")
+    p_stitch.add_argument("--max-chains", type=int, default=10, metavar="N",
+                          help="sample chains to print/embed")
+    p_stitch.set_defaults(func=cmd_stitch)
+
+    args = parser.parse_args(argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

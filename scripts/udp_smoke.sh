@@ -5,11 +5,18 @@
 #
 # Every process must exit 0 — the daemons assert they actually exchanged
 # views, the client asserts the PeerSamplingService produced samples. CI
-# runs this after the tier-1 build.
+# runs this after the tier-1 build. On top of the gossip assertion:
+#   * daemon 1 streams JSONL metrics + a binary ring dump (checked below);
+#   * every daemon writes a PSSTRACE1 flight-recorder dump, and
+#     scripts/trace_tool.py must stitch them into at least one complete
+#     cross-process request->reply chain — the causal-tracing contract;
+#   * daemon 1 serves the Prometheus pull endpoint, which must answer a
+#     scrape with the profiler histograms while the session runs.
 set -u
 
 EXAMPLES_DIR=${1:?usage: udp_smoke.sh <build-examples-dir> [port-base]}
 PORT_BASE=${2:-$((17000 + RANDOM % 2000))}
+SCRIPT_DIR=$(cd "$(dirname "$0")" && pwd)
 NODES=5
 CYCLES=15
 PERIOD_MS=40
@@ -21,19 +28,49 @@ trap 'rm -rf "${METRICS_DIR}"' EXIT
 
 pids=()
 for id in 1 2 3 4; do
-  extra=()
+  # Every daemon carries the flight recorder so the dumps stitch into
+  # cross-process causal chains below.
+  extra=(--trace-dump="${METRICS_DIR}/trace${id}.bin")
   if [ "${id}" -eq 1 ]; then
-    # Daemon 1 also exercises the live metrics path: JSONL stream plus a
-    # ring buffer smaller than the run, dumped at exit.
-    extra=(--metrics="${METRICS_DIR}/daemon1.jsonl"
-           --metrics-ring=4
-           --metrics-dump="${METRICS_DIR}/daemon1.ring")
+    # Daemon 1 also exercises the live metrics path (JSONL stream plus a
+    # ring buffer smaller than the run, dumped at exit) and the Prometheus
+    # pull endpoint; its stdout is captured to recover the ephemeral port.
+    extra+=(--metrics="${METRICS_DIR}/daemon1.jsonl"
+            --metrics-ring=4
+            --metrics-dump="${METRICS_DIR}/daemon1.ring"
+            --http-port=0
+            --http-linger-ms=3000)
+    "${EXAMPLES_DIR}/udp_gossip_daemon" \
+      --id="${id}" --nodes="${NODES}" --port-base="${PORT_BASE}" \
+      --cycles="${CYCLES}" --period-ms="${PERIOD_MS}" "${extra[@]}" \
+      > "${METRICS_DIR}/daemon1.log" 2>&1 &
+  else
+    "${EXAMPLES_DIR}/udp_gossip_daemon" \
+      --id="${id}" --nodes="${NODES}" --port-base="${PORT_BASE}" \
+      --cycles="${CYCLES}" --period-ms="${PERIOD_MS}" "${extra[@]}" &
   fi
-  "${EXAMPLES_DIR}/udp_gossip_daemon" \
-    --id="${id}" --nodes="${NODES}" --port-base="${PORT_BASE}" \
-    --cycles="${CYCLES}" --period-ms="${PERIOD_MS}" "${extra[@]}" &
   pids+=($!)
 done
+
+# Scrape the pull endpoint while the session runs: recover the bound port
+# from daemon 1's banner, then poll until the profiler histograms appear.
+HTTP_PORT=""
+for _ in $(seq 1 50); do
+  HTTP_PORT=$(grep -o 'http endpoint on 127.0.0.1:[0-9]*' \
+                "${METRICS_DIR}/daemon1.log" 2>/dev/null \
+              | grep -o '[0-9]*$' || true)
+  [ -n "${HTTP_PORT}" ] && break
+  sleep 0.1
+done
+SCRAPE=""
+if [ -n "${HTTP_PORT}" ]; then
+  for _ in $(seq 1 50); do
+    SCRAPE=$(curl -s --max-time 2 "http://127.0.0.1:${HTTP_PORT}/metrics" \
+             || true)
+    case "${SCRAPE}" in *pss_phase_duration_ns*) break ;; esac
+    sleep 0.1
+  done
+fi
 
 "${EXAMPLES_DIR}/udp_gossip_client" \
   --id=0 --nodes="${NODES}" --port-base="${PORT_BASE}" \
@@ -47,10 +84,20 @@ for pid in "${pids[@]}"; do
   fi
 done
 
+cat "${METRICS_DIR}/daemon1.log"
+
 if [ "${status}" -ne 0 ]; then
   echo "udp_smoke: FAILED" >&2
   exit 1
 fi
+
+case "${SCRAPE}" in
+  *pss_phase_duration_ns*) ;;
+  *)
+    echo "udp_smoke: FAILED (pull endpoint did not serve histograms)" >&2
+    exit 1 ;;
+esac
+echo "udp_smoke: pull endpoint ok (port ${HTTP_PORT})"
 
 # The metrics stream must be self-describing: line 1 carries the schema
 # name + version, and every tick produced one row (header + CYCLES lines).
@@ -69,4 +116,20 @@ if ! head -c 8 "${METRICS_DIR}/daemon1.ring" | grep -q 'PSSRING1'; then
   exit 1
 fi
 echo "udp_smoke: metrics ok (JSONL header + ${lines} lines, ring dump)"
+
+# Every daemon must have dumped a PSSTRACE1 flight recording, and the four
+# dumps must stitch into at least one complete cross-process request->
+# reply chain — the causal-tracing acceptance check (docs/TRACING.md).
+for id in 1 2 3 4; do
+  if ! head -c 9 "${METRICS_DIR}/trace${id}.bin" | grep -q 'PSSTRACE1'; then
+    echo "udp_smoke: FAILED (trace dump ${id} missing magic)" >&2
+    exit 1
+  fi
+done
+if ! python3 "${SCRIPT_DIR}/trace_tool.py" stitch \
+    "${METRICS_DIR}"/trace*.bin --require-chain 1; then
+  echo "udp_smoke: FAILED (no cross-process causal chain stitched)" >&2
+  exit 1
+fi
+echo "udp_smoke: trace stitching ok"
 echo "udp_smoke: ok"

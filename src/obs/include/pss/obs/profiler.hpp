@@ -1,0 +1,79 @@
+// Always-on runtime profiler over the tracing seam: per-phase log2-bucket
+// duration histograms in fixed arrays — no allocation after construction,
+// relaxed atomic counters so the parallel engines' worker lanes can feed
+// it concurrently (the GraphCensus / RingBufferSink discipline applied to
+// time instead of topology).
+//
+// Bucketing: bucket 0 counts exactly-0 ns durations; bucket b >= 1 counts
+// durations in [2^(b-1), 2^b - 1] ns — i.e. b = bit_width(duration). 65
+// buckets cover the full u64 range. Percentiles are read from the
+// cumulative bucket counts and reported as the matched bucket's upper
+// edge (a <= 2x overestimate by construction, which is the honest
+// direction for a latency report).
+//
+// Export: export_rows() emits one pss.obs.profile row per non-empty
+// bucket through any MetricSink; render_prometheus() appends the same
+// histograms (plus counts and sums) in Prometheus text exposition format
+// for the daemon's pull endpoint (pss/obs/pull_endpoint.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "pss/obs/metric_sink.hpp"
+#include "pss/sim/trace_probe.hpp"
+
+namespace pss::obs {
+
+class Profiler final : public sim::TraceProbe {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  Profiler() = default;
+
+  // -- TraceProbe -----------------------------------------------------------
+  bool armed() const override {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  void record(const sim::TraceSpan& span) override;
+
+  void set_armed(bool armed) {
+    armed_.store(armed, std::memory_order_relaxed);
+  }
+
+  // -- Bucket algebra (static; pinned by tests/trace_test.cpp) --------------
+  /// Bucket index for a duration: 0 for 0 ns, else bit_width(duration).
+  static std::size_t bucket_of(std::uint64_t duration_ns);
+  /// Inclusive lower edge of a bucket (0 for bucket 0, else 2^(b-1)).
+  static std::uint64_t bucket_lo(std::size_t bucket);
+  /// Inclusive upper edge of a bucket (0 for bucket 0; u64 max for 64).
+  static std::uint64_t bucket_hi(std::size_t bucket);
+
+  // -- Quiescent readers ----------------------------------------------------
+  std::uint64_t count(sim::TracePhase phase) const;
+  std::uint64_t sum_ns(sim::TracePhase phase) const;
+  std::uint64_t bucket_count(sim::TracePhase phase, std::size_t bucket) const;
+
+  /// The q-quantile (q in [0, 1]) of a phase's recorded durations, as the
+  /// upper edge of the first bucket whose cumulative count reaches
+  /// ceil(q * total). Returns 0 when the phase recorded nothing.
+  std::uint64_t percentile_ns(sim::TracePhase phase, double q) const;
+
+  /// Emits begin(pss.obs.profile) + one row per non-empty bucket +
+  /// finish() on `sink`.
+  void export_rows(MetricSink& sink, const RunMetadata& meta) const;
+
+  /// Appends the histograms in Prometheus text exposition format
+  /// (cumulative `le` buckets, `_count`, `_sum`) to `out`.
+  void render_prometheus(std::string& out) const;
+
+ private:
+  std::atomic<std::uint64_t>
+      buckets_[sim::kTracePhaseCount][kBuckets] = {};
+  std::atomic<std::uint64_t> counts_[sim::kTracePhaseCount] = {};
+  std::atomic<std::uint64_t> sums_[sim::kTracePhaseCount] = {};
+  std::atomic<bool> armed_{true};
+};
+
+}  // namespace pss::obs

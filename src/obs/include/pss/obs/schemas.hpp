@@ -82,4 +82,42 @@ inline constexpr MetricSchema kServiceTick{"pss.transport.service_tick", 1,
                                            kServiceTickFields,
                                            std::size(kServiceTickFields)};
 
+// ---- pss.obs.trace: one TraceRecorder flight-recorder event -----------------
+//
+// Embedded in PSSTRACE1 dumps as the self-describing header; the field
+// order here IS the packed 32-byte event's field order, with the binary
+// widths fixed by the format version (8/8/4/4/4/2/1 bytes + 1 pad — see
+// pss/obs/trace.hpp). scripts/trace_tool.py is the reference reader.
+
+inline constexpr FieldSpec kTraceFields[] = {
+    {"wall_ns", FieldType::kU64},
+    {"exchange_id", FieldType::kU64},
+    {"node", FieldType::kU64},
+    {"peer", FieldType::kU64},
+    {"duration_ns", FieldType::kU64},
+    {"tick", FieldType::kU64},
+    {"kind", FieldType::kU64},
+};
+
+inline constexpr MetricSchema kTrace{"pss.obs.trace", 1, kTraceFields,
+                                     std::size(kTraceFields)};
+
+// ---- pss.obs.profile: one non-empty Profiler histogram bucket ---------------
+//
+// One row per (phase, log2 bucket) with a non-zero count; bucket 0 holds
+// exactly 0 ns, bucket b >= 1 holds durations in [2^(b-1), 2^b - 1] ns
+// (lo_ns/hi_ns spell the edges out so readers never re-derive them).
+
+inline constexpr FieldSpec kProfileFields[] = {
+    {"phase_id", FieldType::kU64},
+    {"phase", FieldType::kStr},
+    {"bucket", FieldType::kU64},
+    {"lo_ns", FieldType::kU64},
+    {"hi_ns", FieldType::kU64},
+    {"count", FieldType::kU64},
+};
+
+inline constexpr MetricSchema kProfile{"pss.obs.profile", 1, kProfileFields,
+                                       std::size(kProfileFields)};
+
 }  // namespace pss::obs::schemas

@@ -1,0 +1,146 @@
+// Flight recorder for exchange-phase trace spans — the TraceProbe policy
+// half of the tracing seam (pss/sim/trace_probe.hpp holds the mechanism).
+//
+// TraceRecorder keeps the last `capacity` spans as packed 32-byte binary
+// TraceEvents in a fixed ring (the RingBufferSink discipline: overflow
+// overwrites the OLDEST events and counts them as dropped; steady state
+// allocates nothing). dump() writes a self-contained PSSTRACE1 file that
+// embeds the versioned pss.obs.trace schema header, so a dump is
+// interpretable without the code that wrote it — scripts/trace_tool.py is
+// the reference reader and stitches dumps from several UDP daemon
+// processes into causal request->reply chains by (exchange_id, endpoints).
+//
+// PSSTRACE1 dump layout (all integers little-endian):
+//   offset  0: magic "PSSTRACE1" (9 bytes)
+//   offset  9: u8 0 (pad)
+//   offset 10: u16 event_stride_bytes (= 32)
+//   offset 12: u32 header_len — length of the embedded JSONL header line
+//   offset 16: u64 capacity_events
+//   offset 24: u64 total_recorded
+//   offset 32: u64 event_count (events present in this dump)
+//   offset 40: header_len bytes — the JSONL header object (schema + meta)
+//   then event_count * 32 bytes of packed TraceEvents, oldest first.
+//
+// Packed TraceEvent layout (32 bytes, little-endian, format-versioned by
+// the embedded schema version — any change bumps pss.obs.trace):
+//   offset  0: u64 wall_ns      span start, trace_clock_ns()
+//   offset  8: u64 exchange_id
+//   offset 16: u32 node
+//   offset 20: u32 peer         0xffffffff when there is no peer
+//   offset 24: u32 duration_ns  end - start, saturated at u32 max
+//   offset 28: u16 tick         low 16 bits of the engine tick (advisory)
+//   offset 30: u8  kind         TracePhase wire value
+//   offset 31: u8  reserved (0)
+//
+// Thread safety: record() appends under a leaf spinlock (the parallel
+// engines call it from worker lanes); armed() is a relaxed load. The
+// accessors and dump() are for quiescent use (between runs / after the
+// engines stopped), matching how every other obs surface is read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pss/obs/metric_sink.hpp"
+#include "pss/sim/trace_probe.hpp"
+
+namespace pss::obs {
+
+/// In-memory form of one packed trace event (see the layout above).
+struct TraceEvent {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t exchange_id = 0;
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  std::uint32_t duration_ns = 0;
+  std::uint16_t tick = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t reserved = 0;
+};
+static_assert(sizeof(TraceEvent) == 32, "packed trace event must stay 32 B");
+
+/// Bytes of one encoded event in a PSSTRACE1 dump.
+inline constexpr std::size_t kTraceEventStride = 32;
+
+class TraceRecorder final : public sim::TraceProbe {
+ public:
+  /// The ring is sized once; `capacity_events` > 0. Construction is the
+  /// only allocation the recorder ever performs.
+  explicit TraceRecorder(std::size_t capacity_events);
+
+  // -- TraceProbe -----------------------------------------------------------
+  bool armed() const override {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  void record(const sim::TraceSpan& span) override;
+
+  /// Arms/disarms recording. Disarmed, the engines skip clocks and
+  /// record() entirely (see the seam contract) — the recorder stays
+  /// attached at zero cost.
+  void set_armed(bool armed) {
+    armed_.store(armed, std::memory_order_relaxed);
+  }
+
+  // -- Quiescent accessors --------------------------------------------------
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity).
+  std::size_t size() const { return count_; }
+  /// Events ever recorded; total_recorded() - size() were overwritten.
+  std::uint64_t total_recorded() const { return total_recorded_; }
+  std::uint64_t dropped() const { return total_recorded_ - count_; }
+
+  /// The i-th held event, oldest first (0 <= i < size()).
+  const TraceEvent& event(std::size_t i) const;
+
+  /// Empties the ring; dropped() keeps counting from the same total.
+  void clear();
+
+  /// Writes the self-contained PSSTRACE1 dump (layout above) without
+  /// consuming the ring. Returns false on I/O failure.
+  bool dump(const std::string& path, const RunMetadata& meta) const;
+
+  /// Encodes one event into its 32-byte little-endian wire form,
+  /// appending to `out` (exposed for the golden-dump tests).
+  static void encode_event(const TraceEvent& e, std::vector<std::byte>& out);
+
+ private:
+  std::size_t slot(std::size_t logical) const {
+    return (start_ + logical) % capacity_;
+  }
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t start_ = 0;  ///< ring index of the oldest event
+  std::size_t count_ = 0;
+  std::uint64_t total_recorded_ = 0;
+  std::atomic<bool> armed_{true};
+  mutable std::atomic<std::uint8_t> lock_{0};  ///< leaf spinlock for record()
+};
+
+/// Fans one span stream out to several probes (the engines hold a single
+/// TraceProbe*; a traced run usually wants recorder + profiler). Armed
+/// when any child is armed; children see every span while the tee is
+/// armed and must re-check their own gate if they care.
+class TraceTee final : public sim::TraceProbe {
+ public:
+  void add(sim::TraceProbe& probe) { probes_.push_back(&probe); }
+
+  bool armed() const override {
+    for (const sim::TraceProbe* p : probes_) {
+      if (p->armed()) return true;
+    }
+    return false;
+  }
+  void record(const sim::TraceSpan& span) override {
+    for (sim::TraceProbe* p : probes_) {
+      if (p->armed()) p->record(span);
+    }
+  }
+
+ private:
+  std::vector<sim::TraceProbe*> probes_;
+};
+
+}  // namespace pss::obs

@@ -1,0 +1,137 @@
+#include "pss/obs/profiler.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "pss/common/check.hpp"
+#include "pss/obs/schemas.hpp"
+
+namespace pss::obs {
+
+namespace {
+
+constexpr std::size_t kPhases = sim::kTracePhaseCount;
+
+sim::TracePhase phase_at(std::size_t p) {
+  return static_cast<sim::TracePhase>(p);
+}
+
+}  // namespace
+
+std::size_t Profiler::bucket_of(std::uint64_t duration_ns) {
+  return static_cast<std::size_t>(std::bit_width(duration_ns));
+}
+
+std::uint64_t Profiler::bucket_lo(std::size_t bucket) {
+  PSS_CHECK_MSG(bucket < kBuckets, "profiler bucket out of range");
+  if (bucket == 0) return 0;
+  return std::uint64_t{1} << (bucket - 1);
+}
+
+std::uint64_t Profiler::bucket_hi(std::size_t bucket) {
+  PSS_CHECK_MSG(bucket < kBuckets, "profiler bucket out of range");
+  if (bucket == 0) return 0;
+  if (bucket == 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+void Profiler::record(const sim::TraceSpan& span) {
+  // Engines and the tee already gate on armed(); re-check so a directly
+  // driven disarmed profiler stays inert too.
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  const std::uint64_t d =
+      span.end_ns >= span.start_ns ? span.end_ns - span.start_ns : 0;
+  const auto p = static_cast<std::size_t>(span.phase);
+  buckets_[p][bucket_of(d)].fetch_add(1, std::memory_order_relaxed);
+  counts_[p].fetch_add(1, std::memory_order_relaxed);
+  sums_[p].fetch_add(d, std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::count(sim::TracePhase phase) const {
+  return counts_[static_cast<std::size_t>(phase)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::sum_ns(sim::TracePhase phase) const {
+  return sums_[static_cast<std::size_t>(phase)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::bucket_count(sim::TracePhase phase,
+                                     std::size_t bucket) const {
+  PSS_CHECK_MSG(bucket < kBuckets, "profiler bucket out of range");
+  return buckets_[static_cast<std::size_t>(phase)][bucket].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Profiler::percentile_ns(sim::TracePhase phase, double q) const {
+  PSS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::uint64_t total = count(phase);
+  if (total == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += bucket_count(phase, b);
+    if (cumulative >= target) return bucket_hi(b);
+  }
+  return bucket_hi(kBuckets - 1);
+}
+
+void Profiler::export_rows(MetricSink& sink, const RunMetadata& meta) const {
+  sink.begin(schemas::kProfile, meta);
+  for (std::size_t p = 0; p < kPhases; ++p) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t c = bucket_count(phase_at(p), b);
+      if (c == 0) continue;
+      sink.row({static_cast<std::uint64_t>(p),
+                sim::trace_phase_name(phase_at(p)),
+                static_cast<std::uint64_t>(b), bucket_lo(b), bucket_hi(b),
+                c});
+    }
+  }
+  sink.finish();
+}
+
+void Profiler::render_prometheus(std::string& out) const {
+  out += "# TYPE pss_phase_duration_ns histogram\n";
+  for (std::size_t p = 0; p < kPhases; ++p) {
+    const char* name = sim::trace_phase_name(phase_at(p));
+    const std::uint64_t total = count(phase_at(p));
+    if (total == 0) continue;
+    // Cumulative `le` buckets up to the highest non-empty one, then +Inf.
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (bucket_count(phase_at(p), b) > 0) last = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b <= last; ++b) {
+      cumulative += bucket_count(phase_at(p), b);
+      out += "pss_phase_duration_ns_bucket{phase=\"";
+      out += name;
+      out += "\",le=\"";
+      out += std::to_string(bucket_hi(b));
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += "pss_phase_duration_ns_bucket{phase=\"";
+    out += name;
+    out += "\",le=\"+Inf\"} ";
+    out += std::to_string(total);
+    out += '\n';
+    out += "pss_phase_duration_ns_sum{phase=\"";
+    out += name;
+    out += "\"} ";
+    out += std::to_string(sum_ns(phase_at(p)));
+    out += '\n';
+    out += "pss_phase_duration_ns_count{phase=\"";
+    out += name;
+    out += "\"} ";
+    out += std::to_string(total);
+    out += '\n';
+  }
+}
+
+}  // namespace pss::obs

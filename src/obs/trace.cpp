@@ -1,0 +1,124 @@
+#include "pss/obs/trace.hpp"
+
+#include <cstdio>
+#include <thread>
+
+#include "pss/common/check.hpp"
+#include "pss/obs/schemas.hpp"
+#include "pss/obs/sinks.hpp"
+
+namespace pss::obs {
+
+namespace {
+
+constexpr char kMagic[9] = {'P', 'S', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr unsigned kSpinsBeforeYield = 1024;
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Saturating ns duration for the packed u32 field.
+std::uint32_t clamp_duration(std::uint64_t start_ns, std::uint64_t end_ns) {
+  const std::uint64_t d = end_ns >= start_ns ? end_ns - start_ns : 0;
+  return d > 0xffffffffULL ? 0xffffffffU : static_cast<std::uint32_t>(d);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity_events)
+    : capacity_(capacity_events) {
+  PSS_CHECK_MSG(capacity_ > 0, "TraceRecorder capacity must be positive");
+  ring_.resize(capacity_);
+}
+
+void TraceRecorder::record(const sim::TraceSpan& span) {
+  // The engines skip record() entirely when disarmed; this re-check keeps
+  // the gate honest for directly-driven probes too.
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  TraceEvent e;
+  e.wall_ns = span.start_ns;
+  e.exchange_id = span.exchange_id;
+  e.node = span.node;
+  e.peer = span.peer;
+  e.duration_ns = clamp_duration(span.start_ns, span.end_ns);
+  e.tick = static_cast<std::uint16_t>(span.tick & 0xffff);
+  e.kind = static_cast<std::uint8_t>(span.phase);
+  // Leaf spinlock: worker lanes append concurrently; the critical section
+  // is one 32-byte store plus ring arithmetic.
+  unsigned spins = 0;
+  while (lock_.exchange(1, std::memory_order_acquire) != 0) {
+    if (++spins >= kSpinsBeforeYield) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+  if (count_ == capacity_) {
+    ring_[start_] = e;
+    start_ = (start_ + 1) % capacity_;
+  } else {
+    ring_[slot(count_)] = e;
+    ++count_;
+  }
+  ++total_recorded_;
+  lock_.store(0, std::memory_order_release);
+}
+
+const TraceEvent& TraceRecorder::event(std::size_t i) const {
+  PSS_CHECK_MSG(i < count_, "trace event index out of range");
+  return ring_[slot(i)];
+}
+
+void TraceRecorder::clear() {
+  start_ = 0;
+  count_ = 0;
+}
+
+void TraceRecorder::encode_event(const TraceEvent& e,
+                                 std::vector<std::byte>& out) {
+  put_u64(out, e.wall_ns);
+  put_u64(out, e.exchange_id);
+  put_u32(out, e.node);
+  put_u32(out, e.peer);
+  put_u32(out, e.duration_ns);
+  put_u16(out, e.tick);
+  out.push_back(static_cast<std::byte>(e.kind));
+  out.push_back(std::byte{0});
+}
+
+bool TraceRecorder::dump(const std::string& path,
+                         const RunMetadata& meta) const {
+  const std::string header = make_jsonl_header(schemas::kTrace, meta);
+  std::vector<std::byte> bytes;
+  bytes.reserve(40 + header.size() + count_ * kTraceEventStride);
+  for (char c : kMagic) bytes.push_back(static_cast<std::byte>(c));
+  bytes.push_back(std::byte{0});
+  put_u16(bytes, static_cast<std::uint16_t>(kTraceEventStride));
+  put_u32(bytes, static_cast<std::uint32_t>(header.size()));
+  put_u64(bytes, static_cast<std::uint64_t>(capacity_));
+  put_u64(bytes, total_recorded_);
+  put_u64(bytes, static_cast<std::uint64_t>(count_));
+  for (char c : header) bytes.push_back(static_cast<std::byte>(c));
+  for (std::size_t i = 0; i < count_; ++i) encode_event(ring_[slot(i)], bytes);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace pss::obs

@@ -30,12 +30,38 @@ void CycleEngine::run_cycle() {
     // A node killed mid-cycle (only possible via external injection between
     // cycles in the current API, but cheap to guard) is skipped.
     if (!network_->is_live(initiator)) continue;
-    // The shared two-phase body, back to back (see cycle_step.hpp).
-    const CycleStep step = select_cycle_step(*network_, initiator);
-    execute_cycle_step(*network_, step, scratch_, stats_, tamper_);
+    // The shared two-phase body, back to back (see cycle_step.hpp). The
+    // unhooked path is the original code; the traced path brackets the two
+    // phases with wall clocks and records spans (trace_probe.hpp).
+    if (trace_ == nullptr) {
+      const CycleStep step = select_cycle_step(*network_, initiator);
+      execute_cycle_step(*network_, step, scratch_, stats_, tamper_);
+    } else {
+      traced_step(initiator);
+    }
   }
   ++cycle_;
   fire_probes(probes_, *network_, cycle_);
+}
+
+void CycleEngine::traced_step(NodeId initiator) {
+  const bool armed = trace_->armed();
+  std::uint64_t t0 = armed ? trace_clock_ns() : 0;
+  CycleStep step = select_cycle_step(*network_, initiator);
+  step.trace_id = ++trace_exchange_;
+  if (armed) {
+    const std::uint64_t t1 = trace_clock_ns();
+    trace_->record({TracePhase::kSelect, initiator,
+                    step.kind == StepKind::kEmptyView ? kInvalidNode
+                                                      : step.peer,
+                    step.trace_id, cycle_ + 1, t0, t1});
+    t0 = t1;
+  }
+  execute_cycle_step(*network_, step, scratch_, stats_, tamper_);
+  if (armed && step.kind == StepKind::kExchange) {
+    trace_->record({TracePhase::kMergeApply, initiator, step.peer,
+                    step.trace_id, cycle_ + 1, t0, trace_clock_ns()});
+  }
 }
 
 void CycleEngine::run(Cycle cycles) {

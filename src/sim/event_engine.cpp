@@ -56,6 +56,8 @@ std::uint32_t EventEngine::maybe_forge_slab(NodeId sender, NodeId receiver,
 
 void EventEngine::send_request(NodeId from, NodeId to,
                                std::uint64_t exchange_id, bool age_view) {
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t t0 = traced ? trace_clock_ns() : 0;
   ++stats_.messages_sent;
   Rng& rng = network_->rng();
   if (rng.chance(config_.drop_probability)) {
@@ -65,6 +67,12 @@ void EventEngine::send_request(NodeId from, NodeId to,
     // before the fusion below; aging consumes no Rng, so deferring it
     // behind the draw is invisible).
     if (age_view) network_->arena().views.age(from);
+    // The active thread did send; the loss is in-flight. The span still
+    // marks the request as sent so the stitcher sees the broken chain.
+    if (traced) {
+      trace_->record({TracePhase::kRequestSent, from, to, exchange_id, ticks_,
+                      t0, trace_clock_ns()});
+    }
     return;
   }
   const double latency =
@@ -86,6 +94,10 @@ void EventEngine::send_request(NodeId from, NodeId to,
   n = maybe_forge_slab(from, to, slab, n);
   pool_.set_size(slab, n);
   push_event(now_ + latency, Kind::kRequest, from, to, exchange_id, slab);
+  if (traced) {
+    trace_->record({TracePhase::kRequestSent, from, to, exchange_id, ticks_,
+                    t0, trace_clock_ns()});
+  }
 }
 
 void EventEngine::expire_pending(NodeId node) {
@@ -103,6 +115,18 @@ void EventEngine::on_wakeup(NodeId id) {
   if (!network_->is_live(id)) return;
   ++stats_.wakeups;
   flat::NodeArena& arena = network_->arena();
+  const bool traced = trace_ != nullptr && trace_->armed();
+  std::uint64_t t0 = 0;
+  if (traced) {
+    t0 = trace_clock_ns();
+    // expire_pending is about to surface this as a contact failure; mark
+    // the timeout against the exchange that never completed.
+    const PendingExchange& p = pending_[id];
+    if (p.active && p.deadline < now_) {
+      trace_->record({TracePhase::kTimeout, id, p.peer, p.exchange_id, ticks_,
+                      t0, t0});
+    }
+  }
   expire_pending(id);
 
   // Peer selection runs on the un-aged view so the once-per-period aging
@@ -117,6 +141,10 @@ void EventEngine::on_wakeup(NodeId id) {
                                 arena.rngs[id]);
   if (!peer) {
     if (age_view) arena.views.age(id);  // timestamp semantics, peer or not
+    if (traced) {
+      trace_->record({TracePhase::kSelect, id, kInvalidNode, 0, ticks_, t0,
+                      trace_clock_ns()});
+    }
     return;
   }
   ++arena.stats[id].initiated;
@@ -129,6 +157,10 @@ void EventEngine::on_wakeup(NodeId id) {
       ++stats_.replies_stale;
     }
   }
+  if (traced) {
+    trace_->record({TracePhase::kSelect, id, *peer, exchange_id, ticks_, t0,
+                    trace_clock_ns()});
+  }
   send_request(id, *peer, exchange_id, age_view);
 }
 
@@ -140,6 +172,8 @@ void EventEngine::on_request(const FlatEvent& e) {
   }
   flat::NodeArena& arena = network_->arena();
   const bool pull = network_->spec().pull();
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t t0 = traced ? trace_clock_ns() : 0;
 
   // Reply dispatch (master-stream draws) decided up front so a reply that
   // will be dropped is never built. The legacy engine draws these after the
@@ -176,6 +210,10 @@ void EventEngine::on_request(const FlatEvent& e) {
     push_event(now_ + latency, Kind::kReply, e.to, e.from, e.exchange_id,
                reply_slab);
   }
+  if (traced) {
+    trace_->record({TracePhase::kMergeApply, e.to, e.from, e.exchange_id,
+                    ticks_, t0, trace_clock_ns()});
+  }
 }
 
 void EventEngine::on_reply(const FlatEvent& e) {
@@ -189,11 +227,17 @@ void EventEngine::on_reply(const FlatEvent& e) {
     pool_.release(e.slab);
     return;
   }
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t t0 = traced ? trace_clock_ns() : 0;
   flat::handle_reply(network_->arena(), e.to, pool_.data(e.slab),
                      pool_.size(e.slab), network_->spec(),
                      network_->options(), scratch_);
   pool_.release(e.slab);
   ++stats_.replies_delivered;
+  if (traced) {
+    trace_->record({TracePhase::kReplyReceived, e.to, e.from, e.exchange_id,
+                    ticks_, t0, trace_clock_ns()});
+  }
 }
 
 void EventEngine::schedule_new_nodes() {

@@ -34,6 +34,7 @@
 #include "pss/sim/cycle_step.hpp"
 #include "pss/sim/network.hpp"
 #include "pss/sim/probe.hpp"
+#include "pss/sim/trace_probe.hpp"
 
 namespace pss::sim {
 
@@ -67,7 +68,17 @@ class CycleEngine {
   /// tests/scenarios_test.cpp pins. The tamper must outlive the engine.
   void attach_adversary(ExchangeTamper& tamper) { tamper_ = &tamper; }
 
+  /// Registers the causal-tracing hook (see TraceProbe in trace_probe.hpp):
+  /// select and merge+apply spans per step, labelled by a trace-only
+  /// exchange counter. Unhooked, the loop body is the original two calls;
+  /// hooked-but-disarmed and armed runs are state-digest-identical to the
+  /// unhooked engine (tracing never mutates simulation state). The probe
+  /// must outlive the engine.
+  void attach_trace(TraceProbe& trace) { trace_ = &trace; }
+
  private:
+  void traced_step(NodeId initiator);
+
   Network* network_;
   Cycle cycle_ = 0;
   EngineStats stats_;
@@ -75,6 +86,8 @@ class CycleEngine {
   flat::Scratch scratch_;      ///< exchange working memory, capacity reused
   std::vector<ProbeRegistration> probes_;
   ExchangeTamper* tamper_ = nullptr;  ///< byzantine seam; null = honest run
+  TraceProbe* trace_ = nullptr;       ///< tracing seam; null = untraced run
+  std::uint64_t trace_exchange_ = 0;  ///< trace-only per-step id counter
 };
 
 }  // namespace pss::sim

@@ -54,11 +54,16 @@ enum class StepKind : std::uint8_t {
 };
 
 /// Phase-1 result: the initiator, the drawn peer (meaningless for
-/// kEmptyView) and the step classification.
+/// kEmptyView) and the step classification. `trace_id` is dark unless a
+/// TraceProbe is attached (see trace_probe.hpp): the traced selection path
+/// stamps a trace-only exchange counter here so the execution phase — which
+/// may run on a worker lane — can label its merge+apply span with the same
+/// id the selection span carried. It never influences execution.
 struct CycleStep {
   NodeId initiator = 0;
   NodeId peer = 0;
   StepKind kind = StepKind::kEmptyView;
+  std::uint64_t trace_id = 0;
 };
 
 /// Byzantine-injection seam of the engines (pre/post-exchange hook).

@@ -46,6 +46,7 @@
 #include "pss/sim/exchange_apply.hpp"
 #include "pss/sim/network.hpp"
 #include "pss/sim/probe.hpp"
+#include "pss/sim/trace_probe.hpp"
 
 namespace pss::sim {
 
@@ -109,6 +110,15 @@ class EventEngine {
   /// run bit-identical to an unhooked engine. The tamper must outlive the
   /// engine.
   void attach_adversary(ExchangeTamper& tamper) { tamper_ = &tamper; }
+
+  /// Registers the causal-tracing hook (see TraceProbe in trace_probe.hpp):
+  /// select / request-sent spans and timeout marks on the active side of
+  /// each wakeup, merge+apply on the passive request handler,
+  /// reply-received on admitted replies — all labelled with the engine's
+  /// u64 exchange id. Tracing reads clocks and engine-local values only,
+  /// so hooked runs (armed or disarmed) stay digest-identical to the
+  /// unhooked engine. The probe must outlive the engine.
+  void attach_trace(TraceProbe& trace) { trace_ = &trace; }
 
   // --- Introspection (tests, bench drivers) --------------------------------
 
@@ -177,6 +187,7 @@ class EventEngine {
   std::vector<ProbeRegistration> probes_;
   Cycle probe_ticks_ = 0;            ///< lifetime tick count for cadence
   ExchangeTamper* tamper_ = nullptr;  ///< byzantine seam; null = honest run
+  TraceProbe* trace_ = nullptr;       ///< tracing seam; null = untraced run
   std::vector<NodeDescriptor> forged_;  ///< forge staging buffer, reused
 };
 

@@ -55,6 +55,9 @@
 #include "pss/sim/probe.hpp"
 #include "pss/sim/relaxed_lock.hpp"
 #include "pss/sim/thread_pool.hpp"
+#include "pss/sim/trace_probe.hpp"
+
+#include <atomic>
 
 namespace pss::sim {
 
@@ -111,6 +114,16 @@ class ParallelCycleEngine {
   /// streams. The tamper must outlive the engine.
   void attach_adversary(ExchangeTamper& tamper) { tamper_ = &tamper; }
 
+  /// Registers the causal-tracing hook (see TraceProbe in trace_probe.hpp).
+  /// In Deterministic mode selection spans fire on the scanning thread at
+  /// each step's sequential position and merge+apply spans on whichever
+  /// lane executes the step (record() must be thread-safe — the obs
+  /// implementations are); in Relaxed mode both spans fire on the
+  /// executing lane. Tracing never mutates simulation state, so hooked
+  /// runs — armed or disarmed — keep the engine's digest contract intact
+  /// at any thread count. The probe must outlive the engine.
+  void attach_trace(TraceProbe& trace) { trace_ = &trace; }
+
  private:
   void build_order();
   void run_cycle_deterministic();
@@ -118,6 +131,9 @@ class ParallelCycleEngine {
   void execute_batch();
   void relaxed_initiate(NodeId initiator, flat::Scratch& scratch,
                         EngineStats& stats);
+  /// execute_cycle_step bracketed by the merge+apply span when traced.
+  void execute_step(const CycleStep& step, flat::Scratch& scratch,
+                    EngineStats& stats);
 
   Network* network_;
   Config config_;
@@ -131,6 +147,10 @@ class ParallelCycleEngine {
   std::vector<EngineStats> lane_stats_;      ///< summed into stats_ per cycle
   std::vector<ProbeRegistration> probes_;
   ExchangeTamper* tamper_ = nullptr;  ///< byzantine seam; null = honest run
+  TraceProbe* trace_ = nullptr;       ///< tracing seam; null = untraced run
+  /// Trace-only step id counter. Relaxed lanes bump it concurrently;
+  /// Deterministic mode touches it from the scanning thread alone.
+  std::atomic<std::uint64_t> trace_exchange_{0};
 
   // Relaxed-mode state (empty under kDeterministic).
   std::uint64_t relaxed_seed_ = 0;

@@ -107,6 +107,16 @@ class ParallelEventEngine {
   /// hooks (suppress_aging, request forging) stay on the sequencer.
   void attach_adversary(ExchangeTamper& tamper) { tamper_ = &tamper; }
 
+  /// Same seam as EventEngine::attach_trace, with the parallel-engine
+  /// addendum: select / request-sent / timeout spans fire on the
+  /// sequencer in exact pop order; merge+apply and reply-received spans
+  /// fire on whichever lane runs the deferred W-part, so record() must be
+  /// safe under concurrent callers (the TraceProbe contract; the obs
+  /// implementations are). Tracing never mutates simulation state, so the
+  /// engine's bit-identity contract vs the sequential EventEngine holds
+  /// hooked, disarmed or armed, at any thread count.
+  void attach_trace(TraceProbe& trace) { trace_ = &trace; }
+
   // --- Introspection (tests, bench drivers) --------------------------------
 
   std::size_t queued_events() const { return queue_.size(); }
@@ -152,6 +162,7 @@ class ParallelEventEngine {
     DescriptorSlabPool::SlabId reply_slab = DescriptorSlabPool::kNoSlab;
     std::uint32_t size = 0;      ///< payload entries in `slab`
     std::uint32_t kind = 0;      ///< kRequest or kReply
+    std::uint64_t exchange_id = 0;  ///< trace span label (see attach_trace)
   };
 
   /// Per-lane working state, cache-line separated: the absorb kernels are
@@ -196,6 +207,7 @@ class ParallelEventEngine {
   std::vector<ProbeRegistration> probes_;
   Cycle probe_ticks_ = 0;
   ExchangeTamper* tamper_ = nullptr;
+  TraceProbe* trace_ = nullptr;  ///< tracing seam; null = untraced run
 
   ThreadPool pool_threads_;
   std::vector<LaneState> lanes_;       ///< one per pool lane

@@ -107,15 +107,44 @@ void ParallelCycleEngine::run_cycle_deterministic() {
       arena.prefetch_node(order_[scanned + kPrefetchAhead]);
     }
     ++scanned;
-    return select_cycle_step(*network_, initiator);
+    if (trace_ == nullptr) return select_cycle_step(*network_, initiator);
+    // Traced path: bracket selection with wall clocks and stamp the
+    // trace-only id so the lane that later executes the step can label its
+    // merge+apply span. Only the scanning thread touches the counter here.
+    const bool armed = trace_->armed();
+    const std::uint64_t t0 = armed ? trace_clock_ns() : 0;
+    CycleStep step = select_cycle_step(*network_, initiator);
+    step.trace_id =
+        trace_exchange_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (armed) {
+      trace_->record({TracePhase::kSelect, initiator,
+                      step.kind == StepKind::kEmptyView ? kInvalidNode
+                                                        : step.peer,
+                      step.trace_id, cycle_ + 1, t0, trace_clock_ns()});
+    }
+    return step;
   };
   // Single-node steps execute on the scanning thread, lane 0.
   auto inline_exec = [&](const CycleStep& step) {
-    execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0],
-                       tamper_);
+    execute_step(step, lane_scratch_[0], lane_stats_[0]);
   };
   while (scheduler_.next_batch(select, inline_exec, batch_)) {
     execute_batch();
+  }
+}
+
+void ParallelCycleEngine::execute_step(const CycleStep& step,
+                                       flat::Scratch& scratch,
+                                       EngineStats& stats) {
+  // May run on any lane: the armed check is a pointer compare + relaxed
+  // load, and record() is thread-safe by the TraceProbe contract.
+  const bool armed = trace_ != nullptr && trace_->armed() &&
+                     step.kind == StepKind::kExchange;
+  const std::uint64_t t0 = armed ? trace_clock_ns() : 0;
+  execute_cycle_step(*network_, step, scratch, stats, tamper_);
+  if (armed) {
+    trace_->record({TracePhase::kMergeApply, step.initiator, step.peer,
+                    step.trace_id, cycle_ + 1, t0, trace_clock_ns()});
   }
 }
 
@@ -123,8 +152,7 @@ void ParallelCycleEngine::execute_batch() {
   if (batch_.empty()) return;
   if (pool_.concurrency() == 1 || batch_.size() <= kInlineBatch) {
     for (const CycleStep& step : batch_) {
-      execute_cycle_step(*network_, step, lane_scratch_[0], lane_stats_[0],
-                         tamper_);
+      execute_step(step, lane_scratch_[0], lane_stats_[0]);
     }
     return;
   }
@@ -137,7 +165,7 @@ void ParallelCycleEngine::execute_batch() {
         if (i + 1 < batch_.size()) {
           arena.prefetch_node(batch_[i + 1].initiator);
         }
-        execute_cycle_step(*network_, batch_[i], scratch, stats, tamper_);
+        execute_step(batch_[i], scratch, stats);
       });
 }
 
@@ -162,6 +190,14 @@ void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
   // needed); see ExchangeTamper in cycle_step.hpp.
   const bool age_self =
       tamper_ == nullptr || !tamper_->suppress_aging(initiator);
+  // Tracing in Relaxed mode fires both spans on the executing lane; the
+  // id comes off the shared trace-only counter (relaxed order — ids need
+  // to be distinct, not sequenced).
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t trace_id =
+      traced ? trace_exchange_.fetch_add(1, std::memory_order_relaxed) + 1
+             : 0;
+  std::uint64_t t0 = traced ? trace_clock_ns() : 0;
   // Phase 1 under the initiator's lock alone: draw the peer from a
   // counter-derived stream (the arena's sequential per-node streams stay
   // untouched in Relaxed mode). The same derived generator later serves
@@ -175,6 +211,10 @@ void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
     if (age_self) arena.views.age(initiator);
     locks_[initiator].unlock();
     ++stats.empty_views;
+    if (traced) {
+      trace_->record({TracePhase::kSelect, initiator, kInvalidNode, trace_id,
+                      cycle_ + 1, t0, trace_clock_ns()});
+    }
     return;
   }
   if (!network_->is_live(*peer) ||
@@ -184,9 +224,19 @@ void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
     flat::contact_failure(arena, initiator, *peer, network_->options());
     locks_[initiator].unlock();
     ++stats.failed_contacts;
+    if (traced) {
+      trace_->record({TracePhase::kSelect, initiator, *peer, trace_id,
+                      cycle_ + 1, t0, trace_clock_ns()});
+    }
     return;
   }
   locks_[initiator].unlock();
+  if (traced) {
+    const std::uint64_t t1 = trace_clock_ns();
+    trace_->record({TracePhase::kSelect, initiator, *peer, trace_id,
+                    cycle_ + 1, t0, t1});
+    t0 = t1;
+  }
   // Phase 2 under both locks, acquired in address order so two exchanges
   // meeting on crossed pairs cannot deadlock. Dropping the initiator's
   // lock in between means its view can change before the buffer is built —
@@ -211,6 +261,10 @@ void ParallelCycleEngine::relaxed_initiate(NodeId initiator,
   locks_[hi].unlock();
   locks_[lo].unlock();
   ++stats.exchanges;
+  if (traced) {
+    trace_->record({TracePhase::kMergeApply, initiator, *peer, trace_id,
+                    cycle_ + 1, t0, trace_clock_ns()});
+  }
 }
 
 }  // namespace pss::sim

@@ -71,6 +71,16 @@ void ParallelEventEngine::seq_wakeup(NodeId id) {
   if (!network_->is_live(id)) return;
   ++stats_.wakeups;
   flat::NodeArena& arena = network_->arena();
+  const bool traced = trace_ != nullptr && trace_->armed();
+  std::uint64_t t0 = 0;
+  if (traced) {
+    t0 = trace_clock_ns();
+    const PendingExchange& p = pending_[id];
+    if (p.active && p.deadline < now_) {
+      trace_->record({TracePhase::kTimeout, id, p.peer, p.exchange_id, ticks_,
+                      t0, t0});
+    }
+  }
   expire_overdue(arena, id, pending_[id], now_, network_->options());
 
   const bool age_view = tamper_ == nullptr || !tamper_->suppress_aging(id);
@@ -79,6 +89,10 @@ void ParallelEventEngine::seq_wakeup(NodeId id) {
                                 arena.rngs[id]);
   if (!peer) {
     if (age_view) arena.views.age(id);
+    if (traced) {
+      trace_->record({TracePhase::kSelect, id, kInvalidNode, 0, ticks_, t0,
+                      trace_clock_ns()});
+    }
     return;
   }
   ++arena.stats[id].initiated;
@@ -90,12 +104,22 @@ void ParallelEventEngine::seq_wakeup(NodeId id) {
       ++stats_.replies_stale;
     }
   }
+  if (traced) {
+    const std::uint64_t t1 = trace_clock_ns();
+    trace_->record(
+        {TracePhase::kSelect, id, *peer, exchange_id, ticks_, t0, t1});
+    t0 = t1;
+  }
 
   ++stats_.messages_sent;
   Rng& rng = network_->rng();
   if (rng.chance(config_.drop_probability)) {
     ++stats_.messages_dropped;
     if (age_view) arena.views.age(id);
+    if (traced) {
+      trace_->record({TracePhase::kRequestSent, id, *peer, exchange_id,
+                      ticks_, t0, trace_clock_ns()});
+    }
     return;
   }
   const double latency =
@@ -112,6 +136,10 @@ void ParallelEventEngine::seq_wakeup(NodeId id) {
   n = forge_slab(id, *peer, slab, n, lanes_[0].forged);
   pool_.set_size(slab, n);
   push_event(now_ + latency, Kind::kRequest, id, *peer, exchange_id, slab);
+  if (traced) {
+    trace_->record({TracePhase::kRequestSent, id, *peer, exchange_id, ticks_,
+                    t0, trace_clock_ns()});
+  }
 }
 
 void ParallelEventEngine::seq_request(const FlatEvent& e) {
@@ -155,6 +183,7 @@ void ParallelEventEngine::seq_request(const FlatEvent& e) {
   t.reply_slab = reply_slab;
   t.size = pool_.size(e.slab);
   t.kind = static_cast<std::uint32_t>(Kind::kRequest);
+  t.exchange_id = e.exchange_id;
   batch_.push_back(t);
 }
 
@@ -177,11 +206,16 @@ void ParallelEventEngine::seq_reply(const FlatEvent& e) {
   t.slab = e.slab;
   t.size = pool_.size(e.slab);
   t.kind = static_cast<std::uint32_t>(Kind::kReply);
+  t.exchange_id = e.exchange_id;
   batch_.push_back(t);
 }
 
 void ParallelEventEngine::run_task(const SlotTask& t, LaneState& lane) {
   flat::NodeArena& arena = network_->arena();
+  // May run on any lane; record() is thread-safe by the probe contract.
+  // ticks_ is stable while lanes run (mutated only between windows).
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t t0 = traced ? trace_clock_ns() : 0;
   if (t.kind == static_cast<std::uint32_t>(Kind::kRequest)) {
     NodeDescriptor* request = pool_.data(t.slab);
     NodeDescriptor* reply_out =
@@ -200,6 +234,13 @@ void ParallelEventEngine::run_task(const SlotTask& t, LaneState& lane) {
   } else {
     flat::handle_reply(arena, t.node, pool_.data(t.slab), t.size,
                        network_->spec(), network_->options(), lane.scratch);
+  }
+  if (traced) {
+    const bool request = t.kind == static_cast<std::uint32_t>(Kind::kRequest);
+    trace_->record({request ? TracePhase::kMergeApply
+                            : TracePhase::kReplyReceived,
+                    t.node, t.peer, t.exchange_id, ticks_, t0,
+                    trace_clock_ns()});
   }
 }
 

@@ -69,6 +69,15 @@ class LoopbackDriver {
   const ServiceNode& node(NodeId id) const { return nodes_[id]; }
   std::uint64_t rejected_frames() const { return rejected_frames_; }
 
+  /// Forwards the causal-tracing hook to every ServiceNode, present and
+  /// future (see ServiceNode::attach_trace). Same non-perturbation
+  /// contract: a traced loopback run stays digest-identical to the
+  /// EventEngine reference.
+  void attach_trace(sim::TraceProbe& trace) {
+    trace_ = &trace;
+    for (ServiceNode& node : nodes_) node.attach_trace(trace);
+  }
+
  private:
   void schedule_new_nodes();
   void advance_to(double until);
@@ -89,6 +98,7 @@ class LoopbackDriver {
   LoopbackTransport* bus_;
   LoopbackDriverConfig config_;
   std::deque<ServiceNode> nodes_;  ///< deque: stable addresses across growth
+  sim::TraceProbe* trace_ = nullptr;  ///< forwarded to nodes on creation
   std::priority_queue<Timer, std::vector<Timer>, LaterFirst> timers_;
   WireCodec codec_;
   double now_ = 0.0;

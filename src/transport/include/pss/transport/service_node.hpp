@@ -39,6 +39,7 @@
 #include "pss/protocol/node_arena.hpp"
 #include "pss/protocol/spec.hpp"
 #include "pss/sim/exchange_apply.hpp"
+#include "pss/sim/trace_probe.hpp"
 #include "pss/transport/transport.hpp"
 #include "pss/transport/wire.hpp"
 
@@ -88,6 +89,16 @@ class ServiceNode {
   /// observation: attaching a sink never alters protocol behaviour.
   void attach_sink(obs::MetricSink& sink, const obs::RunMetadata& meta);
 
+  /// Registers the causal-tracing hook (see sim::TraceProbe): select /
+  /// request-sent / timeout spans on on_tick, merge+apply on request
+  /// frames, reply-received on admitted replies — every span labelled
+  /// with the wire frame's u64 exchange id, which is what lets
+  /// scripts/trace_tool.py stitch the dumps of two daemon processes into
+  /// one causal request->reply chain. Same write-only contract as
+  /// attach_sink: tracing never alters protocol behaviour (digest-pinned
+  /// by the loopback differential in tests/trace_test.cpp).
+  void attach_trace(sim::TraceProbe& trace) { trace_ = &trace; }
+
   /// Active thread firing at time `now` (caller-driven: a wall-clock timer
   /// in the daemon, the LoopbackDriver's event loop in tests). Expires the
   /// overdue pull, ages the view, selects a peer and emits one request.
@@ -135,6 +146,7 @@ class ServiceNode {
   Cycle tick_ = 0;
   ServiceNodeStats stats_;
   obs::MetricSink* sink_ = nullptr;
+  sim::TraceProbe* trace_ = nullptr;  ///< tracing seam; null = untraced
   flat::Scratch scratch_;
   std::vector<NodeDescriptor> buffer_;       ///< request staging, c+1 entries
   std::vector<NodeDescriptor> reply_buffer_; ///< reply staging, c+1 entries

@@ -25,6 +25,7 @@ void LoopbackDriver::schedule_new_nodes() {
                         network_->options(), *bus_,
                         ServiceNodeConfig{config_.period,
                                           config_.reply_timeout});
+    if (trace_ != nullptr) nodes_.back().attach_trace(*trace_);
     const double at = now_ + network_->rng().uniform() * config_.period;
     timers_.push(Timer{at, bus_->allocate_seq(), id});
   }

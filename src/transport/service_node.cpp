@@ -72,6 +72,17 @@ void ServiceNode::record_tick(double now) {
 void ServiceNode::on_tick(double now) {
   ++stats_.wakeups;
   ++tick_;
+  const bool traced = trace_ != nullptr && trace_->armed();
+  std::uint64_t t0 = 0;
+  if (traced) {
+    t0 = sim::trace_clock_ns();
+    // expire_overdue is about to surface this as a contact failure; mark
+    // the timeout against the exchange whose reply never came.
+    if (pending_.active && pending_.deadline < now) {
+      trace_->record({sim::TracePhase::kTimeout, self_, pending_.peer,
+                      pending_.exchange_id, tick_, t0, t0});
+    }
+  }
   // Statement-level mirror of EventEngine::on_wakeup (minus the timer
   // rearm, which belongs to the caller's event loop): expire the overdue
   // pull, age once per period, select, then emit.
@@ -80,6 +91,10 @@ void ServiceNode::on_tick(double now) {
   auto peer = flat::select_peer(arena_->views.view_of(slot_),
                                 spec_.peer_selection, arena_->rngs[slot_]);
   if (!peer) {
+    if (traced) {
+      trace_->record({sim::TracePhase::kSelect, self_, kInvalidNode, 0, tick_,
+                      t0, sim::trace_clock_ns()});
+    }
     record_tick(now);
     return;
   }
@@ -92,11 +107,17 @@ void ServiceNode::on_tick(double now) {
       ++stats_.replies_stale;
     }
   }
+  if (traced) {
+    trace_->record({sim::TracePhase::kSelect, self_, *peer, exchange_id,
+                    tick_, t0, sim::trace_clock_ns()});
+  }
   send_request(*peer, exchange_id);
   record_tick(now);
 }
 
 void ServiceNode::send_request(NodeId peer, std::uint64_t exchange_id) {
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t t0 = traced ? sim::trace_clock_ns() : 0;
   const std::uint32_t n = flat::write_active_buffer(
       arena_->views.view_of(slot_), self_, spec_.push(), buffer_.data());
   WireFrame frame;
@@ -110,6 +131,10 @@ void ServiceNode::send_request(NodeId peer, std::uint64_t exchange_id) {
   codec_.encode(frame, bytes_);
   ++stats_.requests_sent;
   transport_->send(peer, bytes_);
+  if (traced) {
+    trace_->record({sim::TracePhase::kRequestSent, self_, peer, exchange_id,
+                    tick_, t0, sim::trace_clock_ns()});
+  }
 }
 
 void ServiceNode::on_frame(const ParsedFrame& frame, double now) {
@@ -140,6 +165,8 @@ WireError ServiceNode::on_datagram(std::span<const std::byte> bytes,
 }
 
 void ServiceNode::handle_request_frame(const ParsedFrame& frame) {
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t t0 = traced ? sim::trace_clock_ns() : 0;
   // flat::handle_request with the slot/self split (the kernels' passive
   // half assumes slot == self; a standalone daemon's slot is 0): counters,
   // pre-merge reply build and in-merge aging in the exact kernel order.
@@ -164,6 +191,10 @@ void ServiceNode::handle_request_frame(const ParsedFrame& frame) {
     codec_.encode(reply, bytes_);
     transport_->send(frame.from, bytes_);
   }
+  if (traced) {
+    trace_->record({sim::TracePhase::kMergeApply, self_, frame.from,
+                    frame.exchange_id, tick_, t0, sim::trace_clock_ns()});
+  }
 }
 
 void ServiceNode::handle_reply_frame(const ParsedFrame& frame, double now) {
@@ -171,9 +202,15 @@ void ServiceNode::handle_reply_frame(const ParsedFrame& frame, double now) {
     ++stats_.replies_stale;
     return;
   }
+  const bool traced = trace_ != nullptr && trace_->armed();
+  const std::uint64_t t0 = traced ? sim::trace_clock_ns() : 0;
   flat::absorb(arena_->views, slot_, self_, spec_, options_, frame.entries,
                arena_->rngs[slot_], scratch_, /*age_incoming=*/1);
   ++stats_.replies_delivered;
+  if (traced) {
+    trace_->record({sim::TracePhase::kReplyReceived, self_, frame.from,
+                    frame.exchange_id, tick_, t0, sim::trace_clock_ns()});
+  }
 }
 
 }  // namespace pss::transport
